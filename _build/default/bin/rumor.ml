@@ -1,0 +1,320 @@
+(* Command-line interface to the rumor library.
+
+   Subcommands:
+     generate   sample a graph and print its structural statistics
+     broadcast  run one broadcast and report time/transmissions
+     sweep      repeat a broadcast over sizes and seeds, print a table
+     churn      broadcast over a dynamic overlay with join/leave *)
+
+module Rng = Rumor_rng.Rng
+module Graph = Rumor_graph.Graph
+module Traversal = Rumor_graph.Traversal
+module Metrics = Rumor_graph.Metrics
+module Spectral = Rumor_graph.Spectral
+module Regular = Rumor_gen.Regular
+module Classic = Rumor_gen.Classic
+module Gnp = Rumor_gen.Gnp
+module Product = Rumor_gen.Product
+module Engine = Rumor_sim.Engine
+module Fault = Rumor_sim.Fault
+module Trace = Rumor_sim.Trace
+module Params = Rumor_core.Params
+module Phase = Rumor_core.Phase
+module Algorithm = Rumor_core.Algorithm
+module Baselines = Rumor_core.Baselines
+module Run = Rumor_core.Run
+module Overlay = Rumor_p2p.Overlay
+module Churn = Rumor_p2p.Churn
+module Summary = Rumor_stats.Summary
+module Table = Rumor_stats.Table
+module Experiment = Rumor_stats.Experiment
+
+open Cmdliner
+
+(* --- shared arguments --- *)
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let n_arg =
+  Arg.(value & opt int 16384 & info [ "n" ] ~docv:"N" ~doc:"Number of nodes.")
+
+let d_arg =
+  Arg.(value & opt int 8 & info [ "d" ] ~docv:"D" ~doc:"Degree of the regular graph.")
+
+let topology_arg =
+  let doc =
+    "Topology: regular (random d-regular), hypercube, torus, complete, \
+     gnp, product-k5 (random regular times K5)."
+  in
+  Arg.(value & opt string "regular" & info [ "topology" ] ~docv:"KIND" ~doc)
+
+let protocol_arg =
+  let doc =
+    "Protocol: bef (the paper's algorithm), bef-seq (memory variant), push, \
+     pull, push-pull, quasirandom."
+  in
+  Arg.(value & opt string "bef" & info [ "protocol" ] ~docv:"PROTO" ~doc)
+
+let alpha_arg =
+  Arg.(value & opt float 1.0 & info [ "alpha" ] ~docv:"A" ~doc:"Phase-length constant.")
+
+let fanout_arg =
+  Arg.(value & opt int 4 & info [ "fanout" ] ~docv:"K" ~doc:"Distinct neighbours per round.")
+
+let loss_arg =
+  Arg.(value & opt float 0. & info [ "loss" ] ~docv:"P" ~doc:"Per-transmission loss probability.")
+
+let trace_arg =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Print the per-round trace.")
+
+(* --- generate --- *)
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"FILE" ~doc:"Write the generated graph to a file.")
+
+let graph_in_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "graph" ] ~docv:"FILE"
+        ~doc:"Load the graph from a file (written by generate --out) instead \
+              of sampling one.")
+
+let generate seed n d topology out =
+  let rng = Rng.create seed in
+  let g = Rumor_cli.Scenario.make_graph ~rng ~topology ~n ~d in
+  (match out with
+  | Some path ->
+      Rumor_graph.Io.to_file path g;
+      Printf.printf "wrote %s\n" path
+  | None -> ());
+  let stats = Metrics.degree_stats g in
+  Printf.printf "topology   %s\n" topology;
+  Printf.printf "nodes      %d\n" (Graph.n g);
+  Printf.printf "edges      %d\n" (Graph.m g);
+  Printf.printf "degrees    min %d / mean %.2f / max %d\n" stats.Metrics.min
+    stats.Metrics.mean stats.Metrics.max;
+  Printf.printf "simple     %b\n" (Graph.is_simple g);
+  Printf.printf "connected  %b\n" (Traversal.is_connected g);
+  Printf.printf "diameter   >= %d\n"
+    (Traversal.diameter_lower_bound g ~rng ~samples:4);
+  let l2 = Spectral.lambda2 g ~rng ~iters:60 in
+  Printf.printf "lambda2    %.3f (ramanujan bound %.3f)\n" l2
+    (Spectral.ramanujan_bound (int_of_float stats.Metrics.mean));
+  0
+
+let generate_cmd =
+  let info = Cmd.info "generate" ~doc:"Sample a graph and print statistics." in
+  Cmd.v info
+    Term.(const generate $ seed_arg $ n_arg $ d_arg $ topology_arg $ out_arg)
+
+(* --- broadcast --- *)
+
+let broadcast seed n d topology protocol alpha fanout loss trace graph_in =
+  let rng = Rng.create seed in
+  let g =
+    match graph_in with
+    | Some path -> Rumor_graph.Io.of_file path
+    | None -> Rumor_cli.Scenario.make_graph ~rng ~topology ~n ~d
+  in
+  let n_real = Graph.n g in
+  let p = Rumor_cli.Scenario.make_protocol ~protocol ~n:n_real ~d ~alpha ~fanout in
+  let fault = Fault.make ~link_loss:loss () in
+  let res =
+    Run.once ~fault ~collect_trace:trace ~rng ~graph:g ~protocol:p
+      ~source:(Run.random_source rng g) ()
+  in
+  Printf.printf "protocol     %s\n" p.Rumor_sim.Protocol.name;
+  Printf.printf "informed     %d / %d (%s)\n" res.Engine.informed
+    res.Engine.population
+    (if Engine.success res then "complete" else "INCOMPLETE");
+  (match res.Engine.completion_round with
+  | Some r -> Printf.printf "completion   round %d\n" r
+  | None -> Printf.printf "completion   never\n");
+  Printf.printf "rounds run   %d\n" res.Engine.rounds;
+  Printf.printf "transmissions %d push + %d pull = %d (%.2f per node)\n"
+    res.Engine.push_tx res.Engine.pull_tx
+    (Engine.transmissions res)
+    (float_of_int (Engine.transmissions res) /. float_of_int n_real);
+  (match res.Engine.trace with
+  | Some t when trace ->
+      Printf.printf "informed      %s\n"
+        (Rumor_stats.Sparkline.with_scale (Trace.informed_series t));
+      Format.printf "%a" Trace.pp t
+  | Some _ | None -> ());
+  if Engine.success res then 0 else 1
+
+let broadcast_cmd =
+  let info = Cmd.info "broadcast" ~doc:"Run one broadcast." in
+  Cmd.v info
+    Term.(
+      const broadcast $ seed_arg $ n_arg $ d_arg $ topology_arg $ protocol_arg
+      $ alpha_arg $ fanout_arg $ loss_arg $ trace_arg $ graph_in_arg)
+
+(* --- sweep --- *)
+
+let sizes_arg =
+  Arg.(
+    value
+    & opt (list int) [ 1024; 4096; 16384 ]
+    & info [ "sizes" ] ~docv:"N,N,..." ~doc:"Node counts to sweep.")
+
+let reps_arg =
+  Arg.(value & opt int 5 & info [ "reps" ] ~docv:"R" ~doc:"Repetitions per point.")
+
+let sweep seed sizes d protocol alpha fanout reps =
+  let t =
+    Table.create
+      ~columns:
+        [
+          ("n", Table.Right);
+          ("tx/node", Table.Right);
+          ("ci95", Table.Right);
+          ("rounds", Table.Right);
+          ("success", Table.Right);
+        ]
+  in
+  List.iteri
+    (fun i n ->
+      let results =
+        Experiment.replicate ~seed:(seed + i) ~reps (fun rng ->
+            let g = Regular.sample_connected ~rng ~n ~d Regular.Pairing in
+            let p = Rumor_cli.Scenario.make_protocol ~protocol ~n ~d ~alpha ~fanout in
+            Run.once
+              ~stop_when_complete:(protocol <> "bef" && protocol <> "bef-seq")
+              ~rng ~graph:g ~protocol:p ~source:(Run.random_source rng g) ())
+      in
+      let tx =
+        Summary.of_list
+          (List.map
+             (fun r -> float_of_int (Engine.transmissions r) /. float_of_int n)
+             results)
+      in
+      let rounds =
+        Summary.of_list (List.map (fun r -> float_of_int r.Engine.rounds) results)
+      in
+      let ok =
+        List.length (List.filter Engine.success results) * 100 / List.length results
+      in
+      Table.add_row t
+        [
+          string_of_int n;
+          Printf.sprintf "%.2f" tx.Summary.mean;
+          Printf.sprintf "±%.2f" (Summary.ci95_halfwidth tx);
+          Printf.sprintf "%.1f" rounds.Summary.mean;
+          Printf.sprintf "%d%%" ok;
+        ])
+    sizes;
+  Table.print t;
+  0
+
+let sweep_cmd =
+  let info = Cmd.info "sweep" ~doc:"Sweep a protocol over network sizes." in
+  Cmd.v info
+    Term.(
+      const sweep $ seed_arg $ sizes_arg $ d_arg $ protocol_arg $ alpha_arg
+      $ fanout_arg $ reps_arg)
+
+(* --- churn --- *)
+
+let churn_rate_arg =
+  Arg.(
+    value & opt float 0.005
+    & info [ "rate" ] ~docv:"R" ~doc:"Churn operations per round as a fraction of n.")
+
+let churn seed n d rate =
+  let rng = Rng.create seed in
+  let g = Regular.sample_connected ~rng ~n ~d Regular.Pairing in
+  let o = Overlay.of_graph ~capacity:(2 * n) g in
+  let params = Params.make ~alpha:2.0 ~n_estimate:n ~d () in
+  let ops = int_of_float (rate *. float_of_int n) in
+  let res =
+    Engine.run ~rng
+      ~on_round_end:(fun _ ->
+        for _ = 1 to ops do
+          Churn.session o ~rng ~d ~join_prob:0.5 ~leave_prob:0.5 ()
+        done)
+      ~topology:(Overlay.to_topology o)
+      ~protocol:(Algorithm.make params) ~sources:[ 0 ] ()
+  in
+  Printf.printf "churn ops/round   %d (%.3f n)\n" ops rate;
+  Printf.printf "final population  %d\n" res.Engine.population;
+  Printf.printf "informed          %d (coverage %.4f)\n" res.Engine.informed
+    (float_of_int res.Engine.informed /. float_of_int res.Engine.population);
+  Printf.printf "transmissions     %.2f per node\n"
+    (float_of_int (Engine.transmissions res) /. float_of_int n);
+  Printf.printf "overlay invariant %b\n" (Overlay.invariant o);
+  0
+
+let churn_cmd =
+  let info = Cmd.info "churn" ~doc:"Broadcast over a churning P2P overlay." in
+  Cmd.v info Term.(const churn $ seed_arg $ n_arg $ d_arg $ churn_rate_arg)
+
+(* --- estimate --- *)
+
+let k_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "k" ] ~docv:"K" ~doc:"Exponentials per node (accuracy knob).")
+
+let estimate seed n d k =
+  let rng = Rng.create seed in
+  let g = Regular.sample_connected ~rng ~n ~d Regular.Pairing in
+  let overlay = Rumor_p2p.Overlay.of_graph ~capacity:n g in
+  let est = Rumor_p2p.Estimator.create ~rng ~overlay ~k in
+  let rounds = Rumor_p2p.Estimator.run ~rng est in
+  Printf.printf "gossip rounds     %d\n" rounds;
+  Printf.printf "node 0 estimate   %.1f (true %d)\n"
+    (Rumor_p2p.Estimator.estimate est ~node:0)
+    n;
+  Printf.printf "worst-node factor %.3f\n" (Rumor_p2p.Estimator.worst_error est);
+  0
+
+let estimate_cmd =
+  let info =
+    Cmd.info "estimate"
+      ~doc:
+        "Estimate the network size by min-of-exponentials gossip (the input \
+         the broadcast algorithm assumes)."
+  in
+  Cmd.v info Term.(const estimate $ seed_arg $ n_arg $ d_arg $ k_arg)
+
+(* --- run (scenario files) --- *)
+
+let scenario_file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"SCENARIO" ~doc:"Scenario file (key = value lines).")
+
+let run_scenario path =
+  match Rumor_cli.Scenario.parse_file path with
+  | Error msg ->
+      prerr_endline ("scenario error: " ^ msg);
+      2
+  | Ok scenario ->
+      let report = Rumor_cli.Scenario.run scenario in
+      Format.printf "%a@." Rumor_cli.Scenario.pp_report report;
+      if report.Rumor_cli.Scenario.success_rate = 1. then 0 else 1
+
+let run_cmd =
+  let info = Cmd.info "run" ~doc:"Execute a scenario file." in
+  Cmd.v info Term.(const run_scenario $ scenario_file_arg)
+
+(* --- main --- *)
+
+let () =
+  let info =
+    Cmd.info "rumor" ~version:"1.0.0"
+      ~doc:
+        "Randomised broadcasting in random regular networks (Berenbrink, \
+         Elsasser, Friedetzky)."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ generate_cmd; broadcast_cmd; sweep_cmd; churn_cmd; estimate_cmd; run_cmd ]))

@@ -1,0 +1,1 @@
+examples/lower_bound_demo.ml: List Printf Rumor_core Rumor_gen Rumor_rng Rumor_sim Rumor_stats

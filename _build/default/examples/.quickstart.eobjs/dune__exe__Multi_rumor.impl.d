@@ -1,0 +1,1 @@
+examples/multi_rumor.ml: List Printf Rumor_core Rumor_gen Rumor_rng Rumor_sim Rumor_stats

@@ -1,0 +1,1 @@
+examples/p2p_churn.ml: Printf Rumor_core Rumor_gen Rumor_graph Rumor_p2p Rumor_rng Rumor_sim Rumor_stats

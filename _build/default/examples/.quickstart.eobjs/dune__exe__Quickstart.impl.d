@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Printf Rumor_core Rumor_gen Rumor_rng Rumor_sim

@@ -1,0 +1,1 @@
+examples/replicated_db.ml: Printf Rumor_core Rumor_gen Rumor_p2p Rumor_rng Rumor_sim

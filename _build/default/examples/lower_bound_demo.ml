@@ -1,0 +1,74 @@
+(* The gap the paper proves: in the standard one-call phone call model,
+   any fast oblivious broadcast needs Omega(n log n / log d)
+   transmissions (Theorem 1), while four choices per round bring the
+   cost down to O(n log log n) (Theorems 2/3).
+
+   This demo measures both sides on the same graphs.
+
+   Run with: dune exec examples/lower_bound_demo.exe *)
+
+module Rng = Rumor_rng.Rng
+module Regular = Rumor_gen.Regular
+module Engine = Rumor_sim.Engine
+module Params = Rumor_core.Params
+module Algorithm = Rumor_core.Algorithm
+module Baselines = Rumor_core.Baselines
+module Run = Rumor_core.Run
+module Table = Rumor_stats.Table
+module Experiment = Rumor_stats.Experiment
+
+let n = 16384
+let reps = 3
+
+(* Mean per-node transmissions of a protocol on fresh G(n,d) instances. *)
+let measure ~seed ~d protocol_of =
+  Experiment.mean_of ~seed ~reps (fun rng ->
+      let g = Regular.sample_connected ~rng ~n ~d Regular.Pairing in
+      let res =
+        Run.once ~rng ~graph:g ~protocol:(protocol_of ())
+          ~source:(Run.random_source rng g) ()
+      in
+      float_of_int (Engine.transmissions res) /. float_of_int n)
+
+let () =
+  Printf.printf
+    "standard model (1 call) vs the paper's model (4 distinct calls), n = %d\n\n"
+    n;
+  let t =
+    Table.create
+      ~columns:
+        [
+          ("d", Table.Right);
+          ("log n/log d", Table.Right);
+          ("1-call tx/node", Table.Right);
+          ("4-call tx/node", Table.Right);
+        ]
+  in
+  List.iteri
+    (fun i d ->
+      (* The strongest simple oblivious schedule in the standard model:
+         push to saturation, then pull; generously provisioned. *)
+      let lg = Params.ceil_log2 n in
+      let one_call =
+        measure ~seed:(10 + i) ~d (fun () ->
+            Baselines.push_then_pull ~push_rounds:(lg + 2)
+              ~total_rounds:(lg + 2 + (2 * lg / Params.ceil_log2 d)) ())
+      in
+      let four_call =
+        measure ~seed:(20 + i) ~d (fun () ->
+            Algorithm.make (Params.make ~n_estimate:n ~d ()))
+      in
+      Table.add_row t
+        [
+          string_of_int d;
+          Printf.sprintf "%.2f"
+            (Params.log2 (float_of_int n) /. Params.log2 (float_of_int d));
+          Printf.sprintf "%.1f" one_call;
+          Printf.sprintf "%.1f" four_call;
+        ])
+    [ 4; 8; 16; 32 ];
+  Table.print t;
+  print_endline
+    "\nThe 1-call cost tracks log n / log d (Theorem 1's lower bound shape);\n\
+     the 4-call cost is flat in n — rerun with a larger n to see the contrast\n\
+     grow (examples/quickstart.ml shows the O(log log n) side in isolation)."

@@ -1,0 +1,62 @@
+(* Many rumors at once: the phone call model opens channels blindly, so
+   its fixed per-round channel cost is shared by every rumor alive in
+   the network — the regime the paper (after Karp et al.) designed the
+   model for. This example injects a stream of rumors at random peers
+   and random times and watches the per-rumor cost.
+
+   Run with: dune exec examples/multi_rumor.exe *)
+
+module Rng = Rumor_rng.Rng
+module Regular = Rumor_gen.Regular
+module Multi = Rumor_sim.Multi
+module Topology = Rumor_sim.Topology
+module Params = Rumor_core.Params
+module Algorithm = Rumor_core.Algorithm
+module Table = Rumor_stats.Table
+
+let () =
+  let rng = Rng.create 99 in
+  let n = 8192 and d = 8 in
+  let graph = Regular.sample_connected ~rng ~n ~d Regular.Pairing in
+  let params = Params.make ~n_estimate:n ~d () in
+
+  let t =
+    Table.create
+      ~columns:
+        [
+          ("rumors", Table.Right);
+          ("rounds", Table.Right);
+          ("channels/rumor/node", Table.Right);
+          ("tx/rumor/node", Table.Right);
+          ("all delivered", Table.Right);
+        ]
+  in
+  List.iter
+    (fun k ->
+      (* k rumors, a new one born every other round at a random peer. *)
+      let messages =
+        List.init k (fun j ->
+            { Multi.source = Rng.int rng n; created = 2 * j })
+      in
+      let r =
+        Multi.run ~rng
+          ~topology:(Topology.of_graph graph)
+          ~protocol:(Algorithm.make params) ~messages ()
+      in
+      Table.add_row t
+        [
+          string_of_int k;
+          string_of_int r.Multi.rounds;
+          Printf.sprintf "%.1f"
+            (float_of_int r.Multi.channels /. float_of_int k /. float_of_int n);
+          Printf.sprintf "%.1f"
+            (float_of_int (Multi.total_transmissions r)
+            /. float_of_int k /. float_of_int n);
+          string_of_bool (Multi.all_complete r);
+        ])
+    [ 1; 4; 16; 64 ];
+  Table.print t;
+  print_endline
+    "\nTransmissions per rumor stay flat while the channel overhead per rumor\n\
+     collapses: the cost of opening channels amortises over concurrent rumors,\n\
+     which is why the model charges for transmissions, not connections."

@@ -1,0 +1,59 @@
+(* Replicated database maintenance (Demers et al. [7], the paper's
+   motivating application): every peer holds a key-value replica;
+   updates enter at random peers and are spread by rumor mongering with
+   the paper's algorithm, with anti-entropy as a safety net.
+
+   Run with: dune exec examples/replicated_db.exe *)
+
+module Rng = Rumor_rng.Rng
+module Dist = Rumor_rng.Dist
+module Regular = Rumor_gen.Regular
+module Engine = Rumor_sim.Engine
+module Fault = Rumor_sim.Fault
+module Params = Rumor_core.Params
+module Algorithm = Rumor_core.Algorithm
+module Overlay = Rumor_p2p.Overlay
+module Replica = Rumor_p2p.Replica
+
+let () =
+  let rng = Rng.create 11 in
+  let n = 4096 and d = 8 in
+  let graph = Regular.sample_connected ~rng ~n ~d Regular.Pairing in
+  let overlay = Overlay.of_graph ~capacity:n graph in
+  let db = Replica.create ~capacity:n in
+  let protocol () = Algorithm.make (Params.make ~n_estimate:n ~d ()) in
+
+  (* Inject 32 updates with zipf-distributed keys (hot keys are updated
+     more often), each spread by one broadcast — over a slightly lossy
+     network, so a few replicas can miss an update. *)
+  let fault = Fault.make ~link_loss:0.05 () in
+  let total_tx = ref 0 in
+  let missed = ref 0 in
+  for u = 1 to 32 do
+    let origin = Overlay.random_node overlay rng in
+    let key = Dist.zipf rng ~n:64 ~s:1. in
+    let res =
+      Replica.broadcast ~fault ~rng ~overlay ~protocol:(protocol ()) db ~origin
+        ~key ~data:u
+    in
+    total_tx := !total_tx + Engine.transmissions res;
+    if not (Engine.success res) then incr missed;
+    let staleness = Replica.staleness db ~overlay ~key in
+    if u mod 8 = 0 then
+      Printf.printf "after update %2d: key %2d staleness %.5f\n" u key staleness
+  done;
+  Printf.printf "\n32 updates spread: %.1f transmissions/node/update, %d incomplete\n"
+    (float_of_int !total_tx /. float_of_int n /. 32.)
+    !missed;
+  Printf.printf "replicas converged: %b\n" (Replica.converged db ~overlay);
+
+  (* Anti-entropy mops up whatever the lossy broadcasts missed. *)
+  let rounds = ref 0 in
+  while (not (Replica.converged db ~overlay)) && !rounds < 50 do
+    let c = Replica.anti_entropy_round ~rng ~overlay db in
+    incr rounds;
+    Printf.printf "anti-entropy round %d: %d entries transferred (%d examined)\n"
+      !rounds c.Replica.transfers c.Replica.compared
+  done;
+  Printf.printf "converged after %d anti-entropy rounds: %b\n" !rounds
+    (Replica.converged db ~overlay)

@@ -1,0 +1,1 @@
+lib/cli/scenario.ml: Format Fun List Printf Rumor_core Rumor_gen Rumor_graph Rumor_rng Rumor_sim Rumor_stats String

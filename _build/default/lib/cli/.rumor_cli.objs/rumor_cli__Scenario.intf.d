@@ -1,0 +1,1 @@
+lib/cli/scenario.mli: Format Rumor_core Rumor_graph Rumor_rng Rumor_sim Rumor_stats

@@ -1,0 +1,207 @@
+module Rng = Rumor_rng.Rng
+module Graph = Rumor_graph.Graph
+module Engine = Rumor_sim.Engine
+module Fault = Rumor_sim.Fault
+module Params = Rumor_core.Params
+module Algorithm = Rumor_core.Algorithm
+module Baselines = Rumor_core.Baselines
+module Run_ = Rumor_core.Run
+module Summary = Rumor_stats.Summary
+module Experiment = Rumor_stats.Experiment
+
+type t = {
+  seed : int;
+  n : int;
+  d : int;
+  topology : string;
+  protocol : string;
+  alpha : float;
+  fanout : int;
+  loss : float;
+  call_failure : float;
+  reps : int;
+}
+
+let default =
+  {
+    seed = 1;
+    n = 16384;
+    d = 8;
+    topology = "regular";
+    protocol = "bef";
+    alpha = 1.0;
+    fanout = 4;
+    loss = 0.;
+    call_failure = 0.;
+    reps = 5;
+  }
+
+let topologies = [ "regular"; "hypercube"; "torus"; "complete"; "gnp"; "product-k5" ]
+let protocols = [ "bef"; "bef-seq"; "push"; "pull"; "push-pull"; "quasirandom" ]
+
+let parse text =
+  let err line msg = Error (Printf.sprintf "line %d: %s" line msg) in
+  let strip_comment s =
+    match String.index_opt s '#' with
+    | Some i -> String.sub s 0 i
+    | None -> s
+  in
+  let parse_int line v k =
+    match int_of_string_opt (String.trim v) with
+    | Some x -> k x
+    | None -> err line "expected an integer"
+  in
+  let parse_float line v k =
+    match float_of_string_opt (String.trim v) with
+    | Some x -> k x
+    | None -> err line "expected a number"
+  in
+  let lines = String.split_on_char '\n' text in
+  let rec go acc i = function
+    | [] -> Ok acc
+    | raw :: rest -> begin
+        let line = i + 1 in
+        let s = String.trim (strip_comment raw) in
+        if s = "" then go acc (i + 1) rest
+        else
+          match String.index_opt s '=' with
+          | None -> err line "expected 'key = value'"
+          | Some eq -> begin
+              let key = String.trim (String.sub s 0 eq) in
+              let value = String.trim (String.sub s (eq + 1) (String.length s - eq - 1)) in
+              let continue acc = go acc (i + 1) rest in
+              match key with
+              | "seed" -> parse_int line value (fun x -> continue { acc with seed = x })
+              | "n" ->
+                  parse_int line value (fun x ->
+                      if x < 4 then err line "n must be >= 4"
+                      else continue { acc with n = x })
+              | "d" ->
+                  parse_int line value (fun x ->
+                      if x < 1 then err line "d must be >= 1"
+                      else continue { acc with d = x })
+              | "topology" ->
+                  if List.mem value topologies then continue { acc with topology = value }
+                  else err line ("unknown topology: " ^ value)
+              | "protocol" ->
+                  if List.mem value protocols then continue { acc with protocol = value }
+                  else err line ("unknown protocol: " ^ value)
+              | "alpha" ->
+                  parse_float line value (fun x ->
+                      if x <= 0. then err line "alpha must be positive"
+                      else continue { acc with alpha = x })
+              | "fanout" ->
+                  parse_int line value (fun x ->
+                      if x < 1 then err line "fanout must be >= 1"
+                      else continue { acc with fanout = x })
+              | "loss" ->
+                  parse_float line value (fun x ->
+                      if x < 0. || x > 1. then err line "loss must be in [0, 1]"
+                      else continue { acc with loss = x })
+              | "call_failure" ->
+                  parse_float line value (fun x ->
+                      if x < 0. || x > 1. then err line "call_failure must be in [0, 1]"
+                      else continue { acc with call_failure = x })
+              | "reps" ->
+                  parse_int line value (fun x ->
+                      if x < 1 then err line "reps must be >= 1"
+                      else continue { acc with reps = x })
+              | other -> err line ("unknown key: " ^ other)
+            end
+      end
+  in
+  go default 0 lines
+
+let parse_file path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let len = in_channel_length ic in
+          parse (really_input_string ic len))
+
+let make_graph ~rng ~topology ~n ~d =
+  match topology with
+  | "regular" ->
+      Rumor_gen.Regular.sample_connected ~rng ~n ~d Rumor_gen.Regular.Pairing
+  | "hypercube" -> Rumor_gen.Classic.hypercube (Params.ceil_log2 n)
+  | "torus" ->
+      let side = max 3 (int_of_float (sqrt (float_of_int n))) in
+      Rumor_gen.Classic.torus2d side side
+  | "complete" -> Rumor_gen.Classic.complete n
+  | "gnp" ->
+      Rumor_gen.Gnp.sample ~rng ~n ~p:(float_of_int d /. float_of_int (n - 1))
+  | "product-k5" ->
+      let base =
+        Rumor_gen.Regular.sample_connected ~rng ~n:(max 4 (n / 5))
+          ~d:(max 1 (d - 4)) Rumor_gen.Regular.Pairing
+      in
+      Rumor_gen.Product.with_clique base ~k:5
+  | other -> failwith (Printf.sprintf "unknown topology %S" other)
+
+let make_protocol ~protocol ~n ~d ~alpha ~fanout =
+  let params = Params.make ~alpha ~fanout ~n_estimate:n ~d () in
+  let horizon = 20 * Params.ceil_log2 (max n 2) in
+  match protocol with
+  | "bef" -> Algorithm.make params
+  | "bef-seq" -> Algorithm.sequentialised params
+  | "push" -> Baselines.push ~fanout:1 ~horizon ()
+  | "pull" -> Baselines.pull ~fanout:1 ~horizon ()
+  | "push-pull" -> Baselines.push_pull ~fanout:1 ~horizon ()
+  | "quasirandom" -> Baselines.quasirandom ~fanout:1 ~horizon
+  | other -> failwith (Printf.sprintf "unknown protocol %S" other)
+
+type report = {
+  scenario : t;
+  protocol_name : string;
+  success_rate : float;
+  coverage : Summary.t;
+  tx_per_node : Summary.t;
+  rounds : Summary.t;
+}
+
+let run scenario =
+  let fault =
+    Fault.make ~link_loss:scenario.loss ~call_failure:scenario.call_failure ()
+  in
+  let stop = scenario.protocol <> "bef" && scenario.protocol <> "bef-seq" in
+  let protocol_name = ref "" in
+  let results =
+    Experiment.replicate ~seed:scenario.seed ~reps:scenario.reps (fun rng ->
+        let g =
+          make_graph ~rng ~topology:scenario.topology ~n:scenario.n
+            ~d:scenario.d
+        in
+        let p =
+          make_protocol ~protocol:scenario.protocol ~n:(Graph.n g)
+            ~d:scenario.d ~alpha:scenario.alpha ~fanout:scenario.fanout
+        in
+        protocol_name := p.Rumor_sim.Protocol.name;
+        Run_.once ~fault ~stop_when_complete:stop ~rng ~graph:g ~protocol:p
+          ~source:(Run_.random_source rng g) ())
+  in
+  let of_metric f = Summary.of_list (List.map f results) in
+  {
+    scenario;
+    protocol_name = !protocol_name;
+    success_rate =
+      float_of_int (List.length (List.filter Engine.success results))
+      /. float_of_int (List.length results);
+    coverage =
+      of_metric (fun r ->
+          float_of_int r.Engine.informed /. float_of_int r.Engine.population);
+    tx_per_node =
+      of_metric (fun r ->
+          float_of_int (Engine.transmissions r) /. float_of_int r.Engine.population);
+    rounds = of_metric (fun r -> float_of_int r.Engine.rounds);
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>protocol    %s@,topology    %s (n=%d, d=%d)@,faults      loss %.2f, call failure %.2f@,reps        %d (seed %d)@,success     %.0f%%@,coverage    %a@,tx/node     %a@,rounds      %a@]"
+    r.protocol_name r.scenario.topology r.scenario.n r.scenario.d
+    r.scenario.loss r.scenario.call_failure r.scenario.reps r.scenario.seed
+    (100. *. r.success_rate) Summary.pp r.coverage Summary.pp r.tx_per_node
+    Summary.pp r.rounds

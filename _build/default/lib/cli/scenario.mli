@@ -1,0 +1,73 @@
+(** Declarative experiment scenarios.
+
+    A scenario is a plain-text [key = value] file (['#'] starts a
+    comment) describing one repeated broadcast measurement:
+
+    {v
+    # 16k peers, lossy links, the paper's algorithm
+    seed     = 7
+    n        = 16384
+    d        = 8
+    topology = regular        # regular|hypercube|torus|complete|gnp|product-k5
+    protocol = bef            # bef|bef-seq|push|pull|push-pull|quasirandom
+    alpha    = 1.0
+    fanout   = 4
+    loss     = 0.05
+    reps     = 5
+    v}
+
+    Unknown keys, malformed values and out-of-range parameters are
+    rejected with a line-numbered message. The CLI's [run] subcommand
+    executes scenario files; the module is also the shared home of the
+    topology/protocol factories used across the binaries. *)
+
+type t = {
+  seed : int;
+  n : int;
+  d : int;
+  topology : string;
+  protocol : string;
+  alpha : float;
+  fanout : int;
+  loss : float;
+  call_failure : float;
+  reps : int;
+}
+
+val default : t
+(** [seed 1, n 16384, d 8, regular, bef, alpha 1.0, fanout 4, no
+    faults, 5 reps]. *)
+
+val parse : string -> (t, string) result
+(** Parse scenario text over {!default}. *)
+
+val parse_file : string -> (t, string) result
+(** Read and {!parse} a file; IO failures map to [Error]. *)
+
+val make_graph :
+  rng:Rumor_rng.Rng.t -> topology:string -> n:int -> d:int ->
+  Rumor_graph.Graph.t
+(** Topology factory (shared with the CLI).
+    @raise Failure on an unknown topology name. *)
+
+val make_protocol :
+  protocol:string -> n:int -> d:int -> alpha:float -> fanout:int ->
+  Rumor_core.Algorithm.state Rumor_sim.Protocol.t
+(** Protocol factory (shared with the CLI).
+    @raise Failure on an unknown protocol name. *)
+
+type report = {
+  scenario : t;
+  protocol_name : string;
+  success_rate : float;
+  coverage : Rumor_stats.Summary.t;
+  tx_per_node : Rumor_stats.Summary.t;
+  rounds : Rumor_stats.Summary.t;
+}
+
+val run : t -> report
+(** Execute the scenario: [reps] broadcasts on fresh graphs with forked
+    seeds, summarised. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** Human-readable rendering of a report. *)

@@ -1,0 +1,1 @@
+lib/core/algorithm.ml: Params Phase Printf Rumor_sim

@@ -1,0 +1,1 @@
+lib/core/algorithm.mli: Params Phase Rumor_sim

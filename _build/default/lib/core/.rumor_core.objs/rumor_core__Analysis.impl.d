@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Float Hashtbl List Option Phase Rumor_sim

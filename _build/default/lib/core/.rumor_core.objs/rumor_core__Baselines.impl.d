@@ -1,0 +1,1 @@
+lib/core/baselines.ml: Algorithm Printf Rumor_sim

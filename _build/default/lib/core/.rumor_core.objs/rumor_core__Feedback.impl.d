@@ -1,0 +1,1 @@
+lib/core/feedback.ml: Printf Rumor_rng Rumor_sim

@@ -1,0 +1,1 @@
+lib/core/feedback.mli: Rumor_rng Rumor_sim

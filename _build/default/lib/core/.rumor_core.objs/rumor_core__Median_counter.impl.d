@@ -1,0 +1,1 @@
+lib/core/median_counter.ml: Array List Params Rumor_graph Rumor_rng

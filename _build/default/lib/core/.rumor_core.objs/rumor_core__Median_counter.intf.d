@@ -1,0 +1,1 @@
+lib/core/median_counter.mli: Rumor_graph Rumor_rng

@@ -1,0 +1,1 @@
+lib/core/run.mli: Rumor_graph Rumor_rng Rumor_sim

@@ -1,0 +1,90 @@
+module Protocol = Rumor_sim.Protocol
+module Selector = Rumor_sim.Selector
+
+type state = Uninformed | Informed of { received : int }
+
+(* [push_window] is how many consecutive rounds a phase-1 node pushes
+   after first receipt: 1 in the 4-choice model, 4 in the sequentialised
+   memory variant (where four 1-call rounds simulate one round). *)
+let decide_with ~push_window (s : Phase.schedule) state ~round =
+  match state with
+  | Uninformed -> Protocol.silent
+  | Informed { received } -> begin
+      match Phase.phase_of s ~round with
+      | Phase.Phase1 ->
+          let age = round - received in
+          { Protocol.push = age >= 1 && age <= push_window; pull = false }
+      | Phase.Phase2 -> { Protocol.push = true; pull = false }
+      | Phase.Phase3 -> { Protocol.push = false; pull = true }
+      | Phase.Phase4 ->
+          (* Only nodes first informed in phase 3 or 4 are active. *)
+          { Protocol.push = received > s.Phase.p2_end; pull = false }
+      | Phase.Finished -> Protocol.silent
+    end
+
+let quiescent_with (s : Phase.schedule) state ~round =
+  match state with
+  | Uninformed -> true
+  | Informed { received } -> begin
+      if round > s.Phase.last then true
+      else
+        match s.Phase.variant with
+        | Phase.Large -> false
+        | Phase.Small ->
+            (* In phase 4 a node informed before phase 3 never transmits
+               again. *)
+            round > s.Phase.p3_end && received <= s.Phase.p2_end
+    end
+
+let make_with ~name ~push_window ~selector (s : Phase.schedule) =
+  Selector.validate selector;
+  {
+    Protocol.name;
+    selector;
+    horizon = s.Phase.last;
+    init =
+      (fun ~informed -> if informed then Informed { received = 0 } else Uninformed);
+    decide = decide_with ~push_window s;
+    receive =
+      (fun state ~round ->
+        match state with
+        | Uninformed -> Informed { received = round }
+        | Informed _ as st -> st);
+    feedback = Protocol.no_feedback;
+    quiescent = quiescent_with s;
+  }
+
+let schedule_of params variant =
+  let variant =
+    match variant with Some v -> v | None -> Phase.auto_variant params
+  in
+  Phase.schedule params variant
+
+let make ?variant ?selector params =
+  let s = schedule_of params variant in
+  let selector =
+    match selector with
+    | Some sel -> sel
+    | None -> Selector.Uniform { fanout = params.Params.fanout }
+  in
+  let name =
+    Printf.sprintf "bef-%s-f%d" (Phase.variant_to_string s.Phase.variant)
+      (Selector.fanout selector)
+  in
+  make_with ~name ~push_window:1 ~selector s
+
+let sequentialised params =
+  let s = schedule_of params None in
+  let stretch x = 4 * x in
+  let s =
+    {
+      s with
+      Phase.p1_end = stretch s.Phase.p1_end;
+      p2_end = stretch s.Phase.p2_end;
+      p3_end = stretch s.Phase.p3_end;
+      last = stretch s.Phase.last;
+    }
+  in
+  make_with ~name:"bef-memory-w3" ~push_window:4
+    ~selector:(Selector.Avoid_recent { fanout = 1; window = 3 })
+    s

@@ -1,0 +1,58 @@
+module Trace = Rumor_sim.Trace
+
+let rounds_to t ~population ~fraction =
+  if fraction < 0. || fraction > 1. then
+    invalid_arg "Analysis.rounds_to: fraction out of range";
+  if population <= 0 then invalid_arg "Analysis.rounds_to: population <= 0";
+  let target =
+    int_of_float (ceil (fraction *. float_of_int population))
+  in
+  let rec scan = function
+    | [] -> None
+    | r :: rest ->
+        if r.Trace.informed >= target then Some r.Trace.round else scan rest
+  in
+  scan (Trace.rows t)
+
+let growth_factors t =
+  let rec go acc = function
+    | a :: (b :: _ as rest) ->
+        let acc =
+          if a.Trace.informed > 0 then
+            (float_of_int b.Trace.informed /. float_of_int a.Trace.informed)
+            :: acc
+          else acc
+        in
+        go acc rest
+    | _ -> List.rev acc
+  in
+  go [] (Trace.rows t)
+
+let peak_growth t = List.fold_left Float.max 1. (growth_factors t)
+
+let shrink_factors t ~population =
+  let uninformed r = population - r.Trace.informed in
+  let rec go acc = function
+    | a :: (b :: _ as rest) ->
+        let acc =
+          if uninformed a > 0 then
+            (float_of_int (uninformed b) /. float_of_int (uninformed a)) :: acc
+          else acc
+        in
+        go acc rest
+    | _ -> List.rev acc
+  in
+  go [] (Trace.rows t)
+
+let phase_transmissions t schedule =
+  let totals = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      let phase = Phase.phase_of schedule ~round:r.Trace.round in
+      let prev = Option.value ~default:0 (Hashtbl.find_opt totals phase) in
+      Hashtbl.replace totals phase (prev + r.Trace.push_tx + r.Trace.pull_tx))
+    (Trace.rows t);
+  List.map
+    (fun phase ->
+      (phase, Option.value ~default:0 (Hashtbl.find_opt totals phase)))
+    [ Phase.Phase1; Phase.Phase2; Phase.Phase3; Phase.Phase4; Phase.Finished ]

@@ -1,0 +1,29 @@
+(** Trace analytics: turning a per-round trace into the quantities the
+    paper's lemmas talk about (growth factors, phase costs, time to a
+    target fraction). *)
+
+val rounds_to :
+  Rumor_sim.Trace.t -> population:int -> fraction:float -> int option
+(** First round at whose end at least [fraction * population] nodes
+    were informed; [None] if never reached.
+    @raise Invalid_argument if [fraction] is outside [\[0, 1\]] or
+    [population <= 0]. *)
+
+val growth_factors : Rumor_sim.Trace.t -> float list
+(** [informed(t) / informed(t-1)] per round (the Lemma 1/2 quantity);
+    the first round compares against the trace's first entry, so the
+    list has [length - 1] elements. Rounds with zero previous informed
+    are skipped. *)
+
+val peak_growth : Rumor_sim.Trace.t -> float
+(** Largest growth factor; 1.0 for traces with fewer than 2 rows. *)
+
+val shrink_factors : Rumor_sim.Trace.t -> population:int -> float list
+(** [uninformed(t) / uninformed(t-1)] per round where the previous
+    count is positive (the Lemma 3 quantity). *)
+
+val phase_transmissions :
+  Rumor_sim.Trace.t -> Phase.schedule -> (Phase.phase * int) list
+(** Total transmissions (push + pull) attributed to each phase of a
+    schedule, in phase order; phases with no rounds in the trace report
+    0. *)

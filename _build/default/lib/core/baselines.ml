@@ -1,0 +1,98 @@
+module Protocol = Rumor_sim.Protocol
+module Selector = Rumor_sim.Selector
+
+type state = Algorithm.state
+
+let init ~informed =
+  if informed then Algorithm.Informed { received = 0 } else Algorithm.Uninformed
+
+let receive state ~round =
+  match state with
+  | Algorithm.Uninformed -> Algorithm.Informed { received = round }
+  | Algorithm.Informed _ as st -> st
+
+let constant_protocol ~name ~selector ~horizon ~decision =
+  Selector.validate selector;
+  {
+    Protocol.name;
+    selector;
+    horizon;
+    init;
+    decide =
+      (fun state ~round ->
+        match state with
+        | Algorithm.Uninformed -> Protocol.silent
+        | Algorithm.Informed _ ->
+            if round <= horizon then decision else Protocol.silent);
+    receive;
+    feedback = Protocol.no_feedback;
+    quiescent = (fun _ ~round -> round > horizon);
+  }
+
+let push ?(fanout = 1) ~horizon () =
+  constant_protocol ~name:(Printf.sprintf "push-f%d" fanout)
+    ~selector:(Selector.Uniform { fanout })
+    ~horizon
+    ~decision:{ Protocol.push = true; pull = false }
+
+let pull ?(fanout = 1) ~horizon () =
+  constant_protocol ~name:(Printf.sprintf "pull-f%d" fanout)
+    ~selector:(Selector.Uniform { fanout })
+    ~horizon
+    ~decision:{ Protocol.push = false; pull = true }
+
+let push_pull ?(fanout = 1) ~horizon () =
+  constant_protocol ~name:(Printf.sprintf "push-pull-f%d" fanout)
+    ~selector:(Selector.Uniform { fanout })
+    ~horizon
+    ~decision:{ Protocol.push = true; pull = true }
+
+let push_pull_age ?(fanout = 1) ~push_rounds ~total_rounds () =
+  if total_rounds < push_rounds then
+    invalid_arg "Baselines.push_pull_age: total_rounds < push_rounds";
+  {
+    Protocol.name = Printf.sprintf "push-pull-age-f%d" fanout;
+    selector = Selector.Uniform { fanout };
+    horizon = total_rounds;
+    init;
+    decide =
+      (fun state ~round ->
+        match state with
+        | Algorithm.Uninformed -> Protocol.silent
+        | Algorithm.Informed _ ->
+            if round <= push_rounds then { Protocol.push = true; pull = true }
+            else if round <= total_rounds then
+              { Protocol.push = false; pull = true }
+            else Protocol.silent);
+    receive;
+    feedback = Protocol.no_feedback;
+    quiescent = (fun _ ~round -> round > total_rounds);
+  }
+
+let push_then_pull ?(fanout = 1) ~push_rounds ~total_rounds () =
+  if total_rounds < push_rounds then
+    invalid_arg "Baselines.push_then_pull: total_rounds < push_rounds";
+  {
+    Protocol.name = Printf.sprintf "push-then-pull-f%d" fanout;
+    selector = Selector.Uniform { fanout };
+    horizon = total_rounds;
+    init;
+    decide =
+      (fun state ~round ->
+        match state with
+        | Algorithm.Uninformed -> Protocol.silent
+        | Algorithm.Informed _ ->
+            if round <= push_rounds then { Protocol.push = true; pull = false }
+            else if round <= total_rounds then
+              { Protocol.push = false; pull = true }
+            else Protocol.silent);
+    receive;
+    feedback = Protocol.no_feedback;
+    quiescent = (fun _ ~round -> round > total_rounds);
+  }
+
+let quasirandom ~fanout ~horizon =
+  constant_protocol ~name:(Printf.sprintf "quasirandom-f%d" fanout)
+    ~selector:(Selector.Quasirandom { fanout })
+    ~horizon
+    ~decision:{ Protocol.push = true; pull = false }

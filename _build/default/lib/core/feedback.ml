@@ -1,0 +1,144 @@
+module Protocol = Rumor_sim.Protocol
+module Selector = Rumor_sim.Selector
+module Rng = Rumor_rng.Rng
+
+type state =
+  | Uninformed
+  | Active of { received : int; heard_back : int }
+  | Removed  (* informed but no longer spreading *)
+
+let check ~k ~horizon =
+  if k < 1 then invalid_arg "Feedback: k < 1";
+  if horizon < 1 then invalid_arg "Feedback: horizon < 1"
+
+let init ~informed =
+  if informed then Active { received = 0; heard_back = 0 } else Uninformed
+
+let receive state ~round =
+  match state with
+  | Uninformed -> Active { received = round; heard_back = 0 }
+  | Active _ | Removed -> state
+
+let decide state ~round =
+  ignore round;
+  match state with
+  | Active _ -> { Protocol.push = true; pull = true }
+  | Uninformed | Removed -> Protocol.silent
+
+(* Blind variants advance on every active round; [decide] is called
+   exactly once per round per informed node (the engine caches it), but
+   mutating state from [decide] is not possible — instead blind
+   variants interpret the age [round - received]. *)
+
+let make ~name ~fanout ~horizon ~feedback ~quiescent_active =
+  {
+    Protocol.name;
+    selector = Selector.Uniform { fanout };
+    horizon;
+    init;
+    decide;
+    receive;
+    feedback;
+    quiescent =
+      (fun state ~round ->
+        match state with
+        | Uninformed | Removed -> true
+        | Active _ as st -> round > horizon || quiescent_active st ~round);
+  }
+
+let feedback_coin ~rng ~k ?(fanout = 1) ~horizon () =
+  check ~k ~horizon;
+  let p = 1. /. float_of_int k in
+  make
+    ~name:(Printf.sprintf "demers-feedback-coin-k%d" k)
+    ~fanout ~horizon
+    ~feedback:(fun state ~round ->
+      ignore round;
+      match state with
+      | Active _ when Rng.bernoulli rng p -> Removed
+      | Active _ | Uninformed | Removed -> state)
+    ~quiescent_active:(fun _ ~round -> ignore round; false)
+
+let feedback_counter ~k ?(fanout = 1) ~horizon () =
+  check ~k ~horizon;
+  make
+    ~name:(Printf.sprintf "demers-feedback-counter-k%d" k)
+    ~fanout ~horizon
+    ~feedback:(fun state ~round ->
+      ignore round;
+      match state with
+      | Active { received; heard_back } ->
+          if heard_back + 1 >= k then Removed
+          else Active { received; heard_back = heard_back + 1 }
+      | Uninformed | Removed -> state)
+    ~quiescent_active:(fun _ ~round -> ignore round; false)
+
+let blind_coin ~rng ~k ?(fanout = 1) ~horizon () =
+  check ~k ~horizon;
+  let p = 1. /. float_of_int k in
+  (* Survival of the blind coin is memoryless; sample the death age once
+     per node at first receipt by folding the geometric into state via
+     absorb-free bookkeeping: simplest honest encoding is to flip when
+     the node becomes active and store the age at which it stops. *)
+  make
+    ~name:(Printf.sprintf "demers-blind-coin-k%d" k)
+    ~fanout ~horizon
+    ~feedback:Protocol.no_feedback
+    ~quiescent_active:(fun _ ~round -> ignore round; false)
+  |> fun proto ->
+  {
+    proto with
+    Protocol.receive =
+      (fun state ~round ->
+        match state with
+        | Uninformed ->
+            (* Age at which interest dies: 1 + Geometric(p) rounds. *)
+            let lifetime = 1 + Rumor_rng.Dist.geometric rng ~p in
+            Active { received = round; heard_back = lifetime }
+        | Active _ | Removed -> state);
+    init =
+      (fun ~informed ->
+        if informed then begin
+          let lifetime = 1 + Rumor_rng.Dist.geometric rng ~p in
+          Active { received = 0; heard_back = lifetime }
+        end
+        else Uninformed);
+    decide =
+      (fun state ~round ->
+        match state with
+        | Active { received; heard_back = lifetime } ->
+            if round - received <= lifetime then
+              { Protocol.push = true; pull = true }
+            else Protocol.silent
+        | Uninformed | Removed -> Protocol.silent);
+    quiescent =
+      (fun state ~round ->
+        match state with
+        | Uninformed | Removed -> true
+        | Active { received; heard_back = lifetime } ->
+            round - received > lifetime);
+  }
+
+let blind_counter ~k ?(fanout = 1) ~horizon () =
+  check ~k ~horizon;
+  let proto =
+    make
+      ~name:(Printf.sprintf "demers-blind-counter-k%d" k)
+      ~fanout ~horizon ~feedback:Protocol.no_feedback
+      ~quiescent_active:(fun _ ~round -> ignore round; false)
+  in
+  {
+    proto with
+    Protocol.decide =
+      (fun state ~round ->
+        match state with
+        | Active { received; _ } ->
+            if round - received <= k then { Protocol.push = true; pull = true }
+            else Protocol.silent
+        | Uninformed | Removed -> Protocol.silent);
+    quiescent =
+      (fun state ~round ->
+        match state with
+        | Uninformed | Removed -> true
+        | Active { received; _ } -> round - received > k);
+  }

@@ -1,0 +1,133 @@
+module Rng = Rumor_rng.Rng
+module Graph = Rumor_graph.Graph
+
+type config = { fanout : int; ctr_max : int; c_rounds : int; horizon : int }
+
+let default_config ~n ~fanout =
+  if n < 4 then invalid_arg "Median_counter.default_config: n < 4";
+  if fanout < 1 then invalid_arg "Median_counter.default_config: fanout < 1";
+  let loglog =
+    max 1 (int_of_float (ceil (Params.log2 (Params.log2 (float_of_int n)))))
+  in
+  {
+    fanout;
+    ctr_max = (2 * loglog) + 2;
+    c_rounds = (2 * loglog) + 2;
+    horizon = 8 * Params.ceil_log2 n;
+  }
+
+type state =
+  | A  (* uninformed *)
+  | B of int  (* informed, counting *)
+  | C of int  (* informed, transmitting for a fixed residue of rounds *)
+  | D  (* informed, silent *)
+
+type result = {
+  rounds : int;
+  completion_round : int option;
+  quiescent_round : int option;
+  informed : int;
+  transmissions : int;
+}
+
+let transmits = function B _ | C _ -> true | A | D -> false
+let informed = function A -> false | B _ | C _ | D -> true
+
+let run ~rng ~graph ~config ~source =
+  let n = Graph.n graph in
+  if n = 0 then invalid_arg "Median_counter.run: empty graph";
+  if source < 0 || source >= n then invalid_arg "Median_counter.run: bad source";
+  let state = Array.make n A in
+  state.(source) <- B 1;
+  (* Channels are bidirectional: both endpoints observe each other's
+     (state, counter), and the rumor flows from any transmitting
+     endpoint. partners.(v) collects the states v saw this round. *)
+  let partners = Array.make n [] in
+  let got_rumor = Array.make n false in
+  let got_from_c = Array.make n false in
+  let scratch = Array.make (max config.fanout 1) 0 in
+  let total_tx = ref 0 in
+  let completion = ref None and quiet = ref None in
+  let round = ref 0 in
+  while !quiet = None && !round < config.horizon do
+    incr round;
+    let meet u w =
+      partners.(u) <- state.(w) :: partners.(u);
+      partners.(w) <- state.(u) :: partners.(w);
+      if transmits state.(u) then begin
+        incr total_tx;
+        got_rumor.(w) <- true;
+        match state.(u) with
+        | C _ -> got_from_c.(w) <- true
+        | A | B _ | D -> ()
+      end;
+      if transmits state.(w) then begin
+        incr total_tx;
+        got_rumor.(u) <- true;
+        match state.(w) with
+        | C _ -> got_from_c.(u) <- true
+        | A | B _ | D -> ()
+      end
+    in
+    for u = 0 to n - 1 do
+      let deg = Graph.degree graph u in
+      if deg > 0 then begin
+        let k = min config.fanout deg in
+        let k = Rng.distinct_into rng ~bound:deg ~k scratch in
+        for i = 0 to k - 1 do
+          meet u (Graph.neighbor graph u scratch.(i))
+        done
+      end
+    done;
+    (* Synchronous transitions. *)
+    let next = Array.make n A in
+    for v = 0 to n - 1 do
+      next.(v) <-
+        (match state.(v) with
+        | A ->
+            if got_from_c.(v) then C config.c_rounds
+            else if got_rumor.(v) then B 1
+            else A
+        | B m ->
+            (* Median rule of [25]: advance when the majority of this
+               round's partners are at least as far along — uninformed
+               partners and smaller counters vote "behind", so counters
+               only start climbing once the neighbourhood saturates. *)
+            let ahead = ref 0 and behind = ref 0 in
+            List.iter
+              (fun st ->
+                match st with
+                | C _ | D -> incr ahead
+                | B m' -> if m' >= m then incr ahead else incr behind
+                | A -> incr behind)
+              partners.(v);
+            if !ahead > !behind then begin
+              if m + 1 > config.ctr_max then C config.c_rounds else B (m + 1)
+            end
+            else B m
+        | C k -> if k <= 1 then D else C (k - 1)
+        | D -> D)
+    done;
+    Array.blit next 0 state 0 n;
+    Array.fill partners 0 n [];
+    Array.fill got_rumor 0 n false;
+    Array.fill got_from_c 0 n false;
+    let know = ref 0 and talking = ref 0 in
+    for v = 0 to n - 1 do
+      if informed state.(v) then incr know;
+      if transmits state.(v) then incr talking
+    done;
+    if !completion = None && !know = n then completion := Some !round;
+    if !talking = 0 then quiet := Some !round
+  done;
+  let know = ref 0 in
+  for v = 0 to n - 1 do
+    if informed state.(v) then incr know
+  done;
+  {
+    rounds = !round;
+    completion_round = !completion;
+    quiescent_round = !quiet;
+    informed = !know;
+    transmissions = !total_tx;
+  }

@@ -1,0 +1,51 @@
+(** The median-counter algorithm of Karp, Schindelhauer, Shenker and
+    Vöcking [25] — the termination mechanism the paper's related-work
+    section builds on.
+
+    Unlike the age-based schedules in {!Algorithm} and {!Baselines},
+    median-counter termination is {e not} strictly oblivious: nodes
+    attach a small state (phase + counter) to every rumor copy and
+    decide when to stop from the counters they observe. This cannot be
+    expressed through the metadata-free {!Rumor_sim.Engine} interface,
+    so the module ships its own round simulator with the same
+    open/push&pull/close schedule and the same transmission accounting.
+
+    States per node: [A] (uninformed) → [B m] (counting; the counter
+    increments whenever the strict majority of informed communication
+    partners are further along) → [C k] (transmit for [k] more rounds
+    without counting) → [D] (silent). On complete graphs this
+    terminates with [O(n log log n)] transmissions w.h.p.; running it
+    on [G(n,d)] gives an adaptive baseline for the paper's oblivious
+    algorithm. *)
+
+type config = {
+  fanout : int;  (** distinct neighbours contacted per round *)
+  ctr_max : int;  (** B-counter value that triggers the C state *)
+  c_rounds : int;  (** rounds a node spends in state C *)
+  horizon : int;  (** hard stop (Monte-Carlo time bound) *)
+}
+
+val default_config : n:int -> fanout:int -> config
+(** Counter and C-phase lengths of order [log log n], horizon of order
+    [log n], as in [25].
+    @raise Invalid_argument if [n < 4] or [fanout < 1]. *)
+
+type result = {
+  rounds : int;  (** rounds executed *)
+  completion_round : int option;  (** when everyone became informed *)
+  quiescent_round : int option;
+      (** when every node had stopped transmitting (all in A or D) —
+          the self-termination event that age-based schedules lack *)
+  informed : int;
+  transmissions : int;  (** rumor copies delivered, as in the engine *)
+}
+
+val run :
+  rng:Rumor_rng.Rng.t ->
+  graph:Rumor_graph.Graph.t ->
+  config:config ->
+  source:int ->
+  result
+(** Broadcast from [source] until every node is silent or the horizon
+    is reached.
+    @raise Invalid_argument on a bad source or empty graph. *)

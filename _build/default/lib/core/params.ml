@@ -1,0 +1,17 @@
+type t = { n_estimate : int; d : int; alpha : float; fanout : int }
+
+let make ?(alpha = 1.0) ?(fanout = 4) ~n_estimate ~d () =
+  if n_estimate < 4 then invalid_arg "Params.make: n_estimate < 4";
+  if d < 1 then invalid_arg "Params.make: d < 1";
+  if alpha <= 0. then invalid_arg "Params.make: alpha <= 0";
+  if fanout < 1 then invalid_arg "Params.make: fanout < 1";
+  { n_estimate; d; alpha; fanout }
+
+let log2 x = log x /. log 2.
+
+let ceil_log2 n =
+  if n < 1 then invalid_arg "Params.ceil_log2: n < 1";
+  let rec go acc p = if p >= n then acc else go (acc + 1) (2 * p) in
+  go 0 1
+
+let loglog t = Float.max 1. (log2 (log2 (float_of_int t.n_estimate)))

@@ -1,0 +1,31 @@
+(** Algorithm parameters.
+
+    The paper assumes every node knows the degree [d] exactly and the
+    network size [n] "to within a constant factor" — hence the phase
+    lengths are computed from an {e estimate} [n_estimate], and
+    experiment E7 stresses what happens when the estimate is off.
+    Logarithms in phase lengths are base 2; the constant [alpha]
+    absorbs base changes, as in the paper. *)
+
+type t = {
+  n_estimate : int;  (** the nodes' common estimate of the network size *)
+  d : int;  (** the (known) degree of the regular graph *)
+  alpha : float;  (** the phase-length constant of Algorithms 1 and 2 *)
+  fanout : int;  (** distinct neighbours called per round (paper: 4) *)
+}
+
+val make : ?alpha:float -> ?fanout:int -> n_estimate:int -> d:int -> unit -> t
+(** [make ~n_estimate ~d ()] with [alpha] defaulting to [1.0] and
+    [fanout] to [4].
+    @raise Invalid_argument if [n_estimate < 4], [d < 1],
+    [alpha <= 0] or [fanout < 1]. *)
+
+val log2 : float -> float
+(** Base-2 logarithm. *)
+
+val ceil_log2 : int -> int
+(** [ceil_log2 n] is [ceil (log2 n)] for [n >= 1]. *)
+
+val loglog : t -> float
+(** [max 1. (log2 (log2 n_estimate))] — the [log log n] of the phase
+    lengths, floored at 1 so schedules are well formed for tiny [n]. *)

@@ -1,0 +1,44 @@
+type variant = Small | Large
+
+let variant_to_string = function Small -> "small-degree" | Large -> "large-degree"
+
+let auto_variant (p : Params.t) =
+  let ll = Params.log2 (Params.log2 (float_of_int p.Params.n_estimate)) in
+  if float_of_int p.Params.d <= 3. *. Float.max 1. ll then Small else Large
+
+type schedule = {
+  variant : variant;
+  p1_end : int;
+  p2_end : int;
+  p3_end : int;
+  last : int;
+}
+
+type phase = Phase1 | Phase2 | Phase3 | Phase4 | Finished
+
+let schedule (p : Params.t) variant =
+  let open Params in
+  let lg = log2 (float_of_int p.n_estimate) in
+  let llg = loglog p in
+  let p1_end = int_of_float (ceil (p.alpha *. lg)) in
+  let p2_end = int_of_float (ceil (p.alpha *. (lg +. llg))) in
+  match variant with
+  | Small ->
+      let p3_end = p2_end + 1 in
+      let last =
+        (2 * int_of_float (ceil (p.alpha *. lg)))
+        + int_of_float (ceil (p.alpha *. llg))
+      in
+      { variant; p1_end; p2_end; p3_end; last = max last p3_end }
+  | Large ->
+      let p3_end = int_of_float (ceil ((p.alpha *. lg) +. (2. *. p.alpha *. llg))) in
+      let p3_end = max p3_end (p2_end + 1) in
+      { variant; p1_end; p2_end; p3_end; last = p3_end }
+
+let phase_of s ~round =
+  if round <= s.p1_end then Phase1
+  else if round <= s.p2_end then Phase2
+  else if round <= s.p3_end then Phase3
+  else if round <= s.last then
+    match s.variant with Small -> Phase4 | Large -> Finished
+  else Finished

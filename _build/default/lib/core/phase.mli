@@ -1,0 +1,41 @@
+(** Phase schedules of Algorithms 1 and 2 (Section 3).
+
+    Rounds are numbered from 1 (the rumor is created at time 0). For
+    the small-degree Algorithm 1:
+
+    - phase 1: rounds [1 .. ceil(alpha*log n)] — newly informed push once;
+    - phase 2: next [ceil(alpha*log log n)] rounds — every informed
+      node pushes;
+    - phase 3: a single round of pull;
+    - phase 4: until round [2*ceil(alpha*log n) + ceil(alpha*log log n)]
+      — nodes first informed in phase 3 or 4 ("active") push.
+
+    For the large-degree Algorithm 2 phases 1–2 coincide and phase 3 is
+    [~alpha*log log n] rounds of pull with no phase 4. *)
+
+type variant =
+  | Small  (** Algorithm 1, for [delta <= d <= delta log log n] *)
+  | Large  (** Algorithm 2, for [delta log log n <= d <= delta log n] *)
+
+val variant_to_string : variant -> string
+
+val auto_variant : Params.t -> variant
+(** Pick the variant the paper prescribes for the given degree:
+    [Small] when [d <= 3 * log2 (log2 n_estimate)], [Large] otherwise
+    (the factor 3 plays the role of the paper's constant [delta]). *)
+
+type schedule = {
+  variant : variant;
+  p1_end : int;  (** last round of phase 1 *)
+  p2_end : int;  (** last round of phase 2 *)
+  p3_end : int;  (** last round of phase 3 *)
+  last : int;  (** last round of the whole schedule *)
+}
+
+type phase = Phase1 | Phase2 | Phase3 | Phase4 | Finished
+
+val schedule : Params.t -> variant -> schedule
+(** Compute the round boundaries from the parameters. *)
+
+val phase_of : schedule -> round:int -> phase
+(** Which phase a (1-based) round belongs to. *)

@@ -1,0 +1,20 @@
+module Rng = Rumor_rng.Rng
+module Graph = Rumor_graph.Graph
+module Engine = Rumor_sim.Engine
+module Topology = Rumor_sim.Topology
+
+let random_source rng g =
+  if Graph.n g = 0 then invalid_arg "Run.random_source: empty graph";
+  Rng.int rng (Graph.n g)
+
+let once ?fault ?collect_trace ?stop_when_complete ~rng ~graph ~protocol ~source
+    () =
+  Engine.run ?fault ?collect_trace ?stop_when_complete ~rng
+    ~topology:(Topology.of_graph graph) ~protocol ~sources:[ source ] ()
+
+let repeat ?fault ?stop_when_complete ~rng ~graph ~protocol ~times () =
+  List.init times (fun i ->
+      let stream = Rng.fork rng i in
+      let source = random_source stream graph in
+      once ?fault ?stop_when_complete ~rng:stream ~graph
+        ~protocol:(protocol ()) ~source ())

@@ -1,0 +1,1 @@
+lib/gen/classic.ml: List Rumor_graph

@@ -1,0 +1,1 @@
+lib/gen/classic.mli: Rumor_graph

@@ -1,0 +1,1 @@
+lib/gen/config_model.ml: Array Rumor_graph Rumor_rng

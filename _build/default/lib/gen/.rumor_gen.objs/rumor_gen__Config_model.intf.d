@@ -1,0 +1,1 @@
+lib/gen/config_model.mli: Rumor_graph Rumor_rng

@@ -1,0 +1,1 @@
+lib/gen/gnp.ml: Hashtbl Rumor_graph Rumor_rng

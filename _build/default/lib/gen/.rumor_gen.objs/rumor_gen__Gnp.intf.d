@@ -1,0 +1,1 @@
+lib/gen/gnp.mli: Rumor_graph Rumor_rng

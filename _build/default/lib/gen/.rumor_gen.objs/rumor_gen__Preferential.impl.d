@@ -1,0 +1,1 @@
+lib/gen/preferential.ml: Array Rumor_graph Rumor_rng

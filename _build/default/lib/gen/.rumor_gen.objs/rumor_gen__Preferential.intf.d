@@ -1,0 +1,1 @@
+lib/gen/preferential.mli: Rumor_graph Rumor_rng

@@ -1,0 +1,1 @@
+lib/gen/product.ml: Classic Rumor_graph

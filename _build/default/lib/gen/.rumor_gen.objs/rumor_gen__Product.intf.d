@@ -1,0 +1,1 @@
+lib/gen/product.mli: Rumor_graph

@@ -1,0 +1,1 @@
+lib/gen/regular.ml: Array Config_model Printf Rumor_graph Rumor_rng

@@ -1,0 +1,1 @@
+lib/gen/regular.mli: Rumor_graph Rumor_rng

@@ -1,0 +1,1 @@
+lib/gen/smallworld.ml: Rumor_graph Rumor_rng

@@ -1,0 +1,1 @@
+lib/gen/smallworld.mli: Rumor_graph Rumor_rng

@@ -1,0 +1,56 @@
+module Rng = Rumor_rng.Rng
+module Graph = Rumor_graph.Graph
+module Builder = Rumor_graph.Builder
+
+let pair ~rng ~deg =
+  let n = Array.length deg in
+  let total = Array.fold_left ( + ) 0 deg in
+  Array.iter (fun d -> if d < 0 then invalid_arg "Config_model.pair: negative degree") deg;
+  if total mod 2 <> 0 then invalid_arg "Config_model.pair: odd degree sum";
+  (* stubs.(i) = owner of stub i; a uniform shuffle then pairing of
+     consecutive entries is exactly a uniform perfect matching. *)
+  let stubs = Array.make total 0 in
+  let k = ref 0 in
+  for v = 0 to n - 1 do
+    for _ = 1 to deg.(v) do
+      stubs.(!k) <- v;
+      incr k
+    done
+  done;
+  Rng.shuffle rng stubs;
+  let b = Builder.create ~capacity:(max (total / 2) 1) ~n () in
+  let i = ref 0 in
+  while !i + 1 < total do
+    Builder.add_edge b stubs.(!i) stubs.(!i + 1);
+    i := !i + 2
+  done;
+  Builder.build b
+
+let pair_simple ~rng ~deg ~max_attempts =
+  let rec go attempts =
+    if attempts <= 0 then None
+    else begin
+      let g = pair ~rng ~deg in
+      if Graph.is_simple g then Some g else go (attempts - 1)
+    end
+  in
+  go max_attempts
+
+let erase g =
+  let n = Graph.n g in
+  let b = Builder.create ~capacity:(max (Graph.m g) 1) ~n () in
+  (* Collapse parallel edges with a per-vertex sorted scan. *)
+  for v = 0 to n - 1 do
+    let nbrs = Graph.neighbors g v in
+    Array.sort compare nbrs;
+    let prev = ref (-1) in
+    Array.iter
+      (fun w ->
+        if w > v && w <> !prev then begin
+          Builder.add_edge b v w;
+          prev := w
+        end
+        else if w > v then prev := w)
+      nbrs
+  done;
+  Builder.build b

@@ -1,0 +1,46 @@
+module Rng = Rumor_rng.Rng
+module Builder = Rumor_graph.Builder
+
+let sample ~rng ~n ~m =
+  if m < 1 then invalid_arg "Preferential.sample: m < 1";
+  if n < m + 1 then invalid_arg "Preferential.sample: n < m + 1";
+  let b = Builder.create ~capacity:(n * m) ~n () in
+  (* endpoints records every edge endpoint; sampling a uniform entry is
+     sampling a vertex proportionally to its degree. *)
+  let cap = 2 * ((m * (m + 1) / 2) + ((n - m - 1) * m)) in
+  let endpoints = Array.make (max cap 1) 0 in
+  let len = ref 0 in
+  let push v =
+    endpoints.(!len) <- v;
+    incr len
+  in
+  let connect u v =
+    Builder.add_edge b u v;
+    push u;
+    push v
+  in
+  for u = 0 to m do
+    for v = u + 1 to m do
+      connect u v
+    done
+  done;
+  let targets = Array.make m 0 in
+  for v = m + 1 to n - 1 do
+    (* Choose m distinct targets by degree-proportional rejection. *)
+    let chosen = ref 0 in
+    while !chosen < m do
+      let cand = endpoints.(Rng.int rng !len) in
+      let dup = ref false in
+      for j = 0 to !chosen - 1 do
+        if targets.(j) = cand then dup := true
+      done;
+      if not !dup then begin
+        targets.(!chosen) <- cand;
+        incr chosen
+      end
+    done;
+    for j = 0 to m - 1 do
+      connect v targets.(j)
+    done
+  done;
+  Builder.build b

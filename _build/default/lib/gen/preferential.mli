@@ -1,0 +1,14 @@
+(** Preferential-attachment (Barabási–Albert) graphs.
+
+    The related work ([8], Doerr–Fouz–Friedrich) shows that avoiding
+    the previously contacted neighbour gives sub-logarithmic broadcast
+    time on these graphs; they serve as a contrasting topology in the
+    examples and the fanout experiments. *)
+
+val sample :
+  rng:Rumor_rng.Rng.t -> n:int -> m:int -> Rumor_graph.Graph.t
+(** [sample ~rng ~n ~m] grows a graph node by node; each new node
+    attaches [m] edges to existing nodes chosen proportionally to their
+    current degree (the classic repeated-endpoint trick). The seed is a
+    complete graph on [m + 1] vertices.
+    @raise Invalid_argument if [m < 1] or [n < m + 1]. *)

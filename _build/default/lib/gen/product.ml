@@ -1,0 +1,19 @@
+module Graph = Rumor_graph.Graph
+module Builder = Rumor_graph.Builder
+
+let cartesian g h =
+  let ng = Graph.n g and nh = Graph.n h in
+  let n = ng * nh in
+  let id u a = (u * nh) + a in
+  let b = Builder.create ~capacity:(max ((Graph.m g * nh) + (Graph.m h * ng)) 1) ~n () in
+  (* Copies of h at each vertex of g. *)
+  for u = 0 to ng - 1 do
+    Graph.iter_edges h (fun a bb -> Builder.add_edge b (id u a) (id u bb))
+  done;
+  (* Copies of g in each coordinate of h. *)
+  for a = 0 to nh - 1 do
+    Graph.iter_edges g (fun u v -> Builder.add_edge b (id u a) (id v a))
+  done;
+  Builder.build b
+
+let with_clique g ~k = cartesian g (Classic.complete k)

@@ -1,0 +1,18 @@
+(** Cartesian graph products.
+
+    The paper's conclusion singles out the Cartesian product of a
+    random regular graph with [K_5] as a graph with expansion and
+    connectivity similar to [G(n,d)] on which the multi-choice model
+    brings {e no} improvement — experiment E10 reproduces this. *)
+
+val cartesian :
+  Rumor_graph.Graph.t -> Rumor_graph.Graph.t -> Rumor_graph.Graph.t
+(** [cartesian g h] is the Cartesian product [g □ h]: vertex [(u, a)]
+    is encoded as [u * n_h + a]; [(u,a) ~ (v,b)] iff ([u = v] and
+    [a ~ b]) or ([a = b] and [u ~ v]). If [g] is [d1]-regular and [h]
+    is [d2]-regular the product is [(d1 + d2)]-regular. *)
+
+val with_clique :
+  Rumor_graph.Graph.t -> k:int -> Rumor_graph.Graph.t
+(** [with_clique g ~k] is [g □ K_k] — the conclusion's counterexample
+    family for [k = 5]. *)

@@ -1,0 +1,36 @@
+module Rng = Rumor_rng.Rng
+module Graph = Rumor_graph.Graph
+module Traversal = Rumor_graph.Traversal
+
+type variant =
+  | Pairing
+  | Simple of { max_attempts : int }
+  | Erased
+
+let feasible ~n ~d = d >= 0 && d < n && n * d mod 2 = 0
+
+let sample ~rng ~n ~d variant =
+  if not (feasible ~n ~d) then invalid_arg "Regular.sample: infeasible (n, d)";
+  let deg = Array.make n d in
+  match variant with
+  | Pairing -> Config_model.pair ~rng ~deg
+  | Simple { max_attempts } -> begin
+      match Config_model.pair_simple ~rng ~deg ~max_attempts with
+      | Some g -> g
+      | None ->
+          failwith
+            (Printf.sprintf
+               "Regular.sample: no simple pairing after %d attempts (n=%d d=%d)"
+               max_attempts n d)
+    end
+  | Erased -> Config_model.erase (Config_model.pair ~rng ~deg)
+
+let sample_connected ~rng ~n ~d ?(max_attempts = 100) variant =
+  let rec go attempts =
+    if attempts <= 0 then
+      failwith
+        (Printf.sprintf "Regular.sample_connected: still disconnected (n=%d d=%d)" n d);
+    let g = sample ~rng ~n ~d variant in
+    if Traversal.is_connected g then g else go (attempts - 1)
+  in
+  go max_attempts

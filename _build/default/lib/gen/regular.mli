@@ -1,0 +1,31 @@
+(** Random [d]-regular graphs [G(n,d)] — the paper's network model. *)
+
+type variant =
+  | Pairing
+      (** Raw configuration model; may contain self-loops and parallel
+          edges. The paper's analysis works in this model directly. *)
+  | Simple of { max_attempts : int }
+      (** Retry the pairing until simple: uniform over simple
+          [d]-regular graphs. *)
+  | Erased
+      (** Drop loops, collapse multi-edges: simple and near-regular. *)
+
+val feasible : n:int -> d:int -> bool
+(** A [d]-regular graph on [n] vertices exists iff [n*d] is even and
+    [0 <= d < n]. *)
+
+val sample :
+  rng:Rumor_rng.Rng.t -> n:int -> d:int -> variant -> Rumor_graph.Graph.t
+(** [sample ~rng ~n ~d variant] draws one random [d]-regular graph.
+    @raise Invalid_argument if [not (feasible ~n ~d)].
+    @raise Failure if [Simple] exhausts its attempts (use a larger
+    budget or the [Erased] variant for large [d]). *)
+
+val sample_connected :
+  rng:Rumor_rng.Rng.t -> n:int -> d:int -> ?max_attempts:int -> variant ->
+  Rumor_graph.Graph.t
+(** Like {!sample} but retries (fresh randomness each time) until the
+    instance is connected, which for [d >= 3] succeeds almost surely on
+    the first try.
+    @raise Failure after [max_attempts] (default 100) disconnected
+    draws. *)

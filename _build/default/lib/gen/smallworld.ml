@@ -1,0 +1,23 @@
+module Rng = Rumor_rng.Rng
+module Builder = Rumor_graph.Builder
+
+let sample ~rng ~n ~k ~beta =
+  if k < 1 then invalid_arg "Smallworld.sample: k < 1";
+  if n <= 2 * k then invalid_arg "Smallworld.sample: n <= 2k";
+  if beta < 0. || beta > 1. then invalid_arg "Smallworld.sample: beta out of range";
+  let b = Builder.create ~capacity:(n * k) ~n () in
+  for v = 0 to n - 1 do
+    for o = 1 to k do
+      let w = (v + o) mod n in
+      if Rng.bernoulli rng beta then begin
+        (* Rewire the far endpoint to a uniform non-self target. *)
+        let rec fresh () =
+          let c = Rng.int rng n in
+          if c = v then fresh () else c
+        in
+        Builder.add_edge b v (fresh ())
+      end
+      else Builder.add_edge b v w
+    done
+  done;
+  Builder.build b

@@ -1,0 +1,18 @@
+(** Watts–Strogatz small-world graphs.
+
+    A ring lattice where each node connects to its [k] nearest
+    neighbours per side, with every edge rewired to a uniform endpoint
+    with probability [beta]. At [beta = 0] this is a (poorly mixing)
+    circulant; at [beta = 1] it is close to a random graph. A useful
+    contrast topology: broadcasting on it interpolates between the
+    cycle-like and random-regular regimes. *)
+
+val sample :
+  rng:Rumor_rng.Rng.t -> n:int -> k:int -> beta:float -> Rumor_graph.Graph.t
+(** [sample ~rng ~n ~k ~beta] builds the Watts–Strogatz graph on [n]
+    vertices with [n * k] edges (degree [2k] before rewiring). Rewiring
+    retargets the far endpoint uniformly, avoiding self-loops; parallel
+    edges may occur with tiny probability and are kept (the simulator
+    tolerates multigraphs).
+    @raise Invalid_argument if [k < 1], [n <= 2 * k] or [beta] is
+    outside [\[0, 1\]]. *)

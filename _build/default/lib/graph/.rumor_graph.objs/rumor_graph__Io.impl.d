@@ -1,0 +1,1 @@
+lib/graph/io.ml: Buffer Fun Graph List Printf String

@@ -1,0 +1,1 @@
+lib/graph/mixing.ml: Array Graph List Metrics Rumor_rng

@@ -1,0 +1,1 @@
+lib/graph/mixing.mli: Graph Rumor_rng

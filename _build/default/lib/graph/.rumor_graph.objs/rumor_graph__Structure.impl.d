@@ -1,0 +1,1 @@
+lib/graph/structure.ml: Array Graph List Queue Rumor_rng

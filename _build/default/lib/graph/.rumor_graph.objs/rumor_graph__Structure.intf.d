@@ -1,0 +1,1 @@
+lib/graph/structure.mli: Graph Rumor_rng

@@ -1,0 +1,1 @@
+lib/graph/walk.ml: Array Graph Rumor_rng

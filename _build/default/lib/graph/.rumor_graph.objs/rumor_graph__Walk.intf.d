@@ -1,0 +1,1 @@
+lib/graph/walk.mli: Graph Rumor_rng

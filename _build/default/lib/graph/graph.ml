@@ -1,0 +1,162 @@
+type t = { n : int; off : int array; adj : int array }
+
+let check_csr ~n ~off ~adj =
+  if n < 0 then invalid_arg "Graph.create: n < 0";
+  if Array.length off <> n + 1 then invalid_arg "Graph.create: |off| <> n+1";
+  if n >= 0 && (off.(0) <> 0 || off.(n) <> Array.length adj) then
+    invalid_arg "Graph.create: offset endpoints";
+  for i = 0 to n - 1 do
+    if off.(i) > off.(i + 1) then invalid_arg "Graph.create: offsets decrease"
+  done;
+  Array.iter
+    (fun v -> if v < 0 || v >= n then invalid_arg "Graph.create: endpoint range")
+    adj
+
+let create ~n ~off ~adj =
+  check_csr ~n ~off ~adj;
+  { n; off; adj }
+
+let of_edges ~n edges =
+  let deg = Array.make n 0 in
+  let bump v =
+    if v < 0 || v >= n then invalid_arg "Graph.of_edges: endpoint range";
+    deg.(v) <- deg.(v) + 1
+  in
+  List.iter
+    (fun (u, v) ->
+      bump u;
+      bump v)
+    edges;
+  let off = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    off.(i + 1) <- off.(i) + deg.(i)
+  done;
+  let adj = Array.make off.(n) 0 in
+  let cursor = Array.copy off in
+  let put u v =
+    adj.(cursor.(u)) <- v;
+    cursor.(u) <- cursor.(u) + 1
+  in
+  List.iter
+    (fun (u, v) ->
+      put u v;
+      put v u)
+    edges;
+  { n; off; adj }
+
+let n g = g.n
+let m g = Array.length g.adj / 2
+let degree g v = g.off.(v + 1) - g.off.(v)
+let neighbor g v i = g.adj.(g.off.(v) + i)
+
+let neighbors g v = Array.sub g.adj g.off.(v) (degree g v)
+
+let iter_neighbors g v f =
+  for i = g.off.(v) to g.off.(v + 1) - 1 do
+    f g.adj.(i)
+  done
+
+let fold_neighbors g v f init =
+  let acc = ref init in
+  iter_neighbors g v (fun w -> acc := f !acc w);
+  !acc
+
+let iter_edges g f =
+  for v = 0 to g.n - 1 do
+    iter_neighbors g v (fun w ->
+        if v < w then f v w
+        else if v = w then
+          (* A self-loop appears twice in v's list; report it once. *)
+          ())
+  done;
+  (* Self-loops: each appears twice in the list of its endpoint. *)
+  for v = 0 to g.n - 1 do
+    let loops = fold_neighbors g v (fun c w -> if w = v then c + 1 else c) 0 in
+    for _ = 1 to loops / 2 do
+      f v v
+    done
+  done
+
+let mem_edge g u v =
+  let a, b = if degree g u <= degree g v then (u, v) else (v, u) in
+  let found = ref false in
+  iter_neighbors g a (fun w -> if w = b then found := true);
+  !found
+
+let max_degree g =
+  let best = ref 0 in
+  for v = 0 to g.n - 1 do
+    if degree g v > !best then best := degree g v
+  done;
+  !best
+
+let min_degree g =
+  if g.n = 0 then 0
+  else begin
+    let best = ref max_int in
+    for v = 0 to g.n - 1 do
+      if degree g v < !best then best := degree g v
+    done;
+    !best
+  end
+
+let is_regular g =
+  if g.n = 0 then Some 0
+  else begin
+    let d = degree g 0 in
+    let ok = ref true in
+    for v = 1 to g.n - 1 do
+      if degree g v <> d then ok := false
+    done;
+    if !ok then Some d else None
+  end
+
+let count_self_loops g =
+  let total = ref 0 in
+  for v = 0 to g.n - 1 do
+    iter_neighbors g v (fun w -> if w = v then incr total)
+  done;
+  !total / 2
+
+let count_parallel_edges g =
+  let surplus = ref 0 in
+  let scratch = Array.make (max_degree g) 0 in
+  for v = 0 to g.n - 1 do
+    let d = degree g v in
+    for i = 0 to d - 1 do
+      scratch.(i) <- neighbor g v i
+    done;
+    let slice = Array.sub scratch 0 d in
+    Array.sort compare slice;
+    for i = 1 to d - 1 do
+      (* Count duplicates from v's side only for v <= w to avoid double
+         counting; self-loop duplicates are not parallel edges. *)
+      if slice.(i) = slice.(i - 1) && slice.(i) > v then incr surplus
+    done
+  done;
+  !surplus
+
+let is_simple g = count_self_loops g = 0 && count_parallel_edges g = 0
+
+let to_edges g =
+  let acc = ref [] in
+  iter_edges g (fun u v -> acc := (u, v) :: !acc);
+  List.rev !acc
+
+let invariant g =
+  try
+    check_csr ~n:g.n ~off:g.off ~adj:g.adj;
+    (* Symmetry as a multiset: sorting the directed edge list both ways
+       must coincide. *)
+    let dir = Array.make (Array.length g.adj) (0, 0) in
+    let k = ref 0 in
+    for v = 0 to g.n - 1 do
+      iter_neighbors g v (fun w ->
+          dir.(!k) <- (v, w);
+          incr k)
+    done;
+    let rev = Array.map (fun (u, v) -> (v, u)) dir in
+    Array.sort compare dir;
+    Array.sort compare rev;
+    dir = rev
+  with Invalid_argument _ -> false

@@ -1,0 +1,69 @@
+let magic = "rumor-graph"
+let version = 1
+
+let to_string g =
+  let buf = Buffer.create (16 * (Graph.m g + 1)) in
+  Buffer.add_string buf
+    (Printf.sprintf "%s %d %d %d\n" magic version (Graph.n g) (Graph.m g));
+  Graph.iter_edges g (fun u v -> Buffer.add_string buf (Printf.sprintf "%d %d\n" u v));
+  Buffer.contents buf
+
+let parse_error line msg = failwith (Printf.sprintf "Io.of_string: line %d: %s" line msg)
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  match lines with
+  | [] -> parse_error 0 "empty input"
+  | header :: rest -> begin
+      let n, m =
+        match String.split_on_char ' ' (String.trim header) with
+        | [ word; ver; n; m ] when word = magic -> begin
+            (match int_of_string_opt ver with
+            | Some v when v = version -> ()
+            | Some _ -> parse_error 1 "unsupported version"
+            | None -> parse_error 1 "bad version field");
+            match (int_of_string_opt n, int_of_string_opt m) with
+            | Some n, Some m when n >= 0 && m >= 0 -> (n, m)
+            | _ -> parse_error 1 "bad counts"
+          end
+        | _ -> parse_error 1 "bad header"
+      in
+      let edges = ref [] in
+      let count = ref 0 in
+      List.iteri
+        (fun i line ->
+          let line = String.trim line in
+          if line <> "" then begin
+            match String.split_on_char ' ' line with
+            | [ u; v ] -> begin
+                match (int_of_string_opt u, int_of_string_opt v) with
+                | Some u, Some v ->
+                    if u < 0 || u >= n || v < 0 || v >= n then
+                      parse_error (i + 2) "endpoint out of range";
+                    edges := (u, v) :: !edges;
+                    incr count
+                | _ -> parse_error (i + 2) "bad endpoints"
+              end
+            | _ -> parse_error (i + 2) "expected two fields"
+          end)
+        rest;
+      if !count <> m then
+        parse_error (List.length lines)
+          (Printf.sprintf "edge count mismatch: header says %d, found %d" m !count);
+      Graph.of_edges ~n !edges
+    end
+
+let to_file path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string g))
+
+let of_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      of_string s)

@@ -1,0 +1,28 @@
+(** Plain-text serialisation of graphs.
+
+    The format is a line-oriented edge list:
+
+    {v
+    rumor-graph 1 <n> <m>
+    <u> <v>        (m lines, one per edge copy; self-loops as u u)
+    v}
+
+    Stable across versions of this library, diff-friendly, and loadable
+    by any script — the CLI uses it to pass generated instances between
+    invocations. *)
+
+val to_string : Graph.t -> string
+(** Serialise. Edges are emitted in [iter_edges] order. *)
+
+val of_string : string -> Graph.t
+(** Parse; inverse of {!to_string} up to edge order.
+    @raise Failure with a line number on malformed input. *)
+
+val to_file : string -> Graph.t -> unit
+(** Write to a path (truncates).
+    @raise Sys_error on IO failure. *)
+
+val of_file : string -> Graph.t
+(** Load from a path.
+    @raise Sys_error on IO failure.
+    @raise Failure on malformed content. *)

@@ -1,0 +1,25 @@
+(** Empirical checks of the Expander-Mixing Lemma.
+
+    For a [d]-regular graph with second eigenvalue [lambda], the lemma
+    bounds [| e(S, V\S) - d|S||V\S|/n | <= lambda * sqrt(|S||V\S|)] for
+    every vertex set [S]. The lower-bound proof (Section 2) applies it
+    to the informed/uninformed cut; this module lets experiments verify
+    the inequality on sampled sets of generated graphs. *)
+
+type sample = {
+  set_size : int;          (** |S| *)
+  boundary : int;          (** e(S, V\S) *)
+  expected : float;        (** d|S||V\S|/n *)
+  discrepancy : float;     (** |boundary - expected| / sqrt(|S||V\S|) *)
+}
+(** One sampled set and its mixing discrepancy — the discrepancy is an
+    empirical lower bound on [lambda]. *)
+
+val sample_set : Graph.t -> rng:Rumor_rng.Rng.t -> size:int -> sample
+(** Evaluate the lemma on one uniform random set of [size] vertices.
+    @raise Invalid_argument if [size] is outside [\[1, n-1\]]. *)
+
+val max_discrepancy :
+  Graph.t -> rng:Rumor_rng.Rng.t -> sizes:int list -> per_size:int -> float
+(** Largest discrepancy over [per_size] random sets of each size in
+    [sizes]: an empirical certificate that the instance mixes. *)

@@ -1,0 +1,96 @@
+module Rng = Rumor_rng.Rng
+
+(* Shortest cycle through a BFS root, the classic O(m) per-root bound:
+   any non-tree edge (u, w) closes a cycle of length <= dist u + dist w
+   + 1; the minimum over roots is the girth for simple graphs. *)
+let cycle_through g root =
+  let n = Graph.n g in
+  let dist = Array.make n (-1) in
+  let parent = Array.make n (-1) in
+  let queue = Array.make n 0 in
+  let head = ref 0 and tail = ref 1 in
+  queue.(0) <- root;
+  dist.(root) <- 0;
+  let best = ref max_int in
+  while !head < !tail do
+    let u = queue.(!head) in
+    incr head;
+    (* One adjacency entry equal to parent.(u) is the tree edge; skip
+       exactly one occurrence of it. *)
+    let parent_skipped = ref false in
+    Graph.iter_neighbors g u (fun w ->
+        if w = parent.(u) && not !parent_skipped then parent_skipped := true
+        else if dist.(w) < 0 then begin
+          dist.(w) <- dist.(u) + 1;
+          parent.(w) <- u;
+          queue.(!tail) <- w;
+          incr tail
+        end
+        else begin
+          let candidate = dist.(u) + dist.(w) + 1 in
+          if candidate < !best then best := candidate
+        end)
+  done;
+  !best
+
+let girth ?(max_roots = 512) ~rng g =
+  if Graph.count_self_loops g > 0 then Some 1
+  else if Graph.count_parallel_edges g > 0 then Some 2
+  else begin
+    let n = Graph.n g in
+    let best = ref max_int in
+    if n <= max_roots then
+      for v = 0 to n - 1 do
+        let c = cycle_through g v in
+        if c < !best then best := c
+      done
+    else
+      for _ = 1 to max_roots do
+        let c = cycle_through g (Rng.int rng n) in
+        if c < !best then best := c
+      done;
+    if !best = max_int then None else Some !best
+  end
+
+let ball_is_tree g v ~radius =
+  (* Collect the ball, then compare induced edge count to |ball| - 1. *)
+  let n = Graph.n g in
+  let dist = Array.make n (-1) in
+  let members = ref [] in
+  let queue = Queue.create () in
+  dist.(v) <- 0;
+  Queue.push v queue;
+  members := [ v ];
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    if dist.(u) < radius then
+      Graph.iter_neighbors g u (fun w ->
+          if dist.(w) < 0 then begin
+            dist.(w) <- dist.(u) + 1;
+            members := w :: !members;
+            Queue.push w queue
+          end)
+  done;
+  let size = List.length !members in
+  let stubs =
+    List.fold_left
+      (fun acc u ->
+        Graph.fold_neighbors g u
+          (fun acc w -> if dist.(w) >= 0 then acc + 1 else acc)
+          acc)
+      0 !members
+  in
+  (* Each induced edge contributes two stubs (self-loops also two). *)
+  stubs / 2 = size - 1
+
+let tree_fraction g ~rng ~radius ~samples =
+  let n = Graph.n g in
+  if n = 0 then nan
+  else begin
+    let hits = ref 0 in
+    let samples = max samples 1 in
+    for _ = 1 to samples do
+      if ball_is_tree g (Rng.int rng n) ~radius then incr hits
+    done;
+    float_of_int !hits /. float_of_int samples
+  end

@@ -1,0 +1,25 @@
+(** Structural properties the paper's proofs lean on.
+
+    The phase-1 analysis (Lemma 1) treats the neighbourhood of a newly
+    informed node as if freshly generated — valid because sparse random
+    regular graphs are locally tree-like: short cycles are rare and
+    girth is large. These functions measure exactly that on concrete
+    instances, so experiments can certify their inputs satisfy the
+    proofs' structural assumptions. *)
+
+val girth : ?max_roots:int -> rng:Rumor_rng.Rng.t -> Graph.t -> int option
+(** Length of a shortest cycle: 1 for a self-loop, 2 for a parallel
+    edge, the usual BFS bound otherwise; [None] for forests. For
+    graphs with more than [max_roots] (default 512) vertices the BFS
+    roots are sampled, making the result an upper bound on the girth
+    (exact w.h.p. for the small girths of random graphs). *)
+
+val ball_is_tree : Graph.t -> int -> radius:int -> bool
+(** [ball_is_tree g v ~radius] — whether the subgraph induced by all
+    vertices within [radius] hops of [v] is acyclic (a tree). *)
+
+val tree_fraction :
+  Graph.t -> rng:Rumor_rng.Rng.t -> radius:int -> samples:int -> float
+(** Fraction of [samples] random vertices whose [radius]-ball is a
+    tree. Close to 1 on sparse random regular graphs for
+    [radius = O(log_d n)] — the "locally tree-like" certificate. *)

@@ -1,0 +1,121 @@
+module Rng = Rumor_rng.Rng
+
+let bfs_into g srcs dist =
+  Array.fill dist 0 (Array.length dist) (-1);
+  let queue = Array.make (Graph.n g) 0 in
+  let head = ref 0 and tail = ref 0 in
+  List.iter
+    (fun s ->
+      if dist.(s) < 0 then begin
+        dist.(s) <- 0;
+        queue.(!tail) <- s;
+        incr tail
+      end)
+    srcs;
+  while !head < !tail do
+    let v = queue.(!head) in
+    incr head;
+    Graph.iter_neighbors g v (fun w ->
+        if dist.(w) < 0 then begin
+          dist.(w) <- dist.(v) + 1;
+          queue.(!tail) <- w;
+          incr tail
+        end)
+  done
+
+let bfs_multi g srcs =
+  let dist = Array.make (Graph.n g) (-1) in
+  bfs_into g srcs dist;
+  dist
+
+let bfs g src = bfs_multi g [ src ]
+
+let components g =
+  let n = Graph.n g in
+  let label = Array.make n (-1) in
+  let queue = Array.make n 0 in
+  let k = ref 0 in
+  for s = 0 to n - 1 do
+    if label.(s) < 0 then begin
+      let c = !k in
+      incr k;
+      label.(s) <- c;
+      let head = ref 0 and tail = ref 1 in
+      queue.(0) <- s;
+      while !head < !tail do
+        let v = queue.(!head) in
+        incr head;
+        Graph.iter_neighbors g v (fun w ->
+            if label.(w) < 0 then begin
+              label.(w) <- c;
+              queue.(!tail) <- w;
+              incr tail
+            end)
+      done
+    end
+  done;
+  (label, !k)
+
+let is_connected g =
+  let _, k = components g in
+  k <= 1
+
+let largest_component g =
+  let label, k = components g in
+  if k = 0 then 0
+  else begin
+    let size = Array.make k 0 in
+    Array.iter (fun c -> size.(c) <- size.(c) + 1) label;
+    Array.fold_left max 0 size
+  end
+
+let eccentricity g v =
+  let dist = bfs g v in
+  Array.fold_left max 0 dist
+
+let farthest g v =
+  let dist = bfs g v in
+  let best = ref v and best_d = ref 0 in
+  Array.iteri
+    (fun w d ->
+      if d > !best_d then begin
+        best := w;
+        best_d := d
+      end)
+    dist;
+  (!best, !best_d)
+
+let diameter_lower_bound g ~rng ~samples =
+  let n = Graph.n g in
+  if n = 0 then 0
+  else begin
+    let best = ref 0 in
+    for _ = 1 to max samples 1 do
+      let s = Rng.int rng n in
+      (* Double sweep: BFS to the farthest vertex, then BFS back. *)
+      let far, d1 = farthest g s in
+      let _, d2 = farthest g far in
+      if d1 > !best then best := d1;
+      if d2 > !best then best := d2
+    done;
+    !best
+  end
+
+let average_distance g ~rng ~samples =
+  let n = Graph.n g in
+  if n = 0 then nan
+  else begin
+    let total = ref 0 and count = ref 0 in
+    for _ = 1 to max samples 1 do
+      let s = Rng.int rng n in
+      let dist = bfs g s in
+      Array.iter
+        (fun d ->
+          if d > 0 then begin
+            total := !total + d;
+            incr count
+          end)
+        dist
+    done;
+    if !count = 0 then nan else float_of_int !total /. float_of_int !count
+  end

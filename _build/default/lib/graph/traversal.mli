@@ -1,0 +1,33 @@
+(** Breadth-first search, connectivity and distance queries. *)
+
+val bfs : Graph.t -> int -> int array
+(** [bfs g src] is the array of hop distances from [src]; unreachable
+    vertices get [-1]. O(n + m). *)
+
+val bfs_multi : Graph.t -> int list -> int array
+(** [bfs_multi g srcs] is the distance to the nearest of [srcs]. *)
+
+val components : Graph.t -> int array * int
+(** [components g] labels each vertex with a component id in
+    [\[0, k)] and returns [(labels, k)]. *)
+
+val is_connected : Graph.t -> bool
+(** Whether the graph has exactly one connected component (the empty
+    graph counts as connected). *)
+
+val largest_component : Graph.t -> int
+(** Size of the largest connected component (0 for the empty graph). *)
+
+val eccentricity : Graph.t -> int -> int
+(** [eccentricity g v] is the largest finite BFS distance from [v]
+    within [v]'s component. *)
+
+val diameter_lower_bound : Graph.t -> rng:Rumor_rng.Rng.t -> samples:int -> int
+(** [diameter_lower_bound g ~rng ~samples] runs BFS from [samples]
+    random vertices (plus a double-sweep refinement) and returns the
+    largest eccentricity seen — a lower bound on the diameter, and for
+    random regular graphs an accurate estimate. *)
+
+val average_distance : Graph.t -> rng:Rumor_rng.Rng.t -> samples:int -> float
+(** Mean pairwise distance estimated from [samples] BFS sources,
+    ignoring unreachable pairs. Returns [nan] on the empty graph. *)

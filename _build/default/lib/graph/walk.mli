@@ -1,0 +1,35 @@
+(** Random walks on graphs.
+
+    Random walks are the workhorse of decentralised peer sampling in
+    the P2P systems the paper targets ([5], [27], [32]): on a regular
+    graph the walk's stationary distribution is uniform, so a walk of
+    length a few multiples of the mixing time ends at an almost-uniform
+    peer — without any global knowledge. *)
+
+val step : Rumor_rng.Rng.t -> Graph.t -> int -> int
+(** One uniform step from a vertex.
+    @raise Invalid_argument on an isolated vertex. *)
+
+val endpoint : Rumor_rng.Rng.t -> Graph.t -> start:int -> length:int -> int
+(** The endpoint of a [length]-step walk from [start]. [length = 0]
+    returns [start].
+    @raise Invalid_argument if the walk hits an isolated vertex (only
+    possible at [start]) or [length < 0]. *)
+
+val path : Rumor_rng.Rng.t -> Graph.t -> start:int -> length:int -> int array
+(** The full visited sequence, [length + 1] vertices. *)
+
+val endpoint_counts :
+  Rumor_rng.Rng.t -> Graph.t -> start:int -> length:int -> samples:int ->
+  int array
+(** Histogram of walk endpoints over [samples] independent walks. *)
+
+val total_variation_from_uniform : int array -> float
+(** [1/2 * sum |p_v - 1/n|] of an endpoint histogram — 0 means the walk
+    samples peers perfectly uniformly.
+    @raise Invalid_argument on an empty or all-zero histogram. *)
+
+val cover_steps :
+  Rumor_rng.Rng.t -> Graph.t -> start:int -> limit:int -> int option
+(** Steps until the walk has visited every vertex, or [None] if [limit]
+    steps were not enough. Expected [Theta(n log n)] on expanders. *)

@@ -1,0 +1,1 @@
+lib/p2p/bootstrap.ml: Array Churn Overlay Rumor_graph Rumor_rng Switcher

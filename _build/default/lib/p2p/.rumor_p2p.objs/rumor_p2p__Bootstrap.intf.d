@@ -1,0 +1,1 @@
+lib/p2p/bootstrap.mli: Overlay Rumor_rng

@@ -1,0 +1,1 @@
+lib/p2p/churn.ml: Array List Overlay Rumor_rng

@@ -1,0 +1,1 @@
+lib/p2p/churn.mli: Overlay Rumor_rng

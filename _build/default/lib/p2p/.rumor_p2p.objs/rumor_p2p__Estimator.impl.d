@@ -1,0 +1,1 @@
+lib/p2p/estimator.ml: Array Float Overlay Rumor_rng

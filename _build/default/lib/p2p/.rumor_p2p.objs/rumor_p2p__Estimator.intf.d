@@ -1,0 +1,1 @@
+lib/p2p/estimator.mli: Overlay Rumor_rng

@@ -1,0 +1,1 @@
+lib/p2p/overlay.mli: Rumor_graph Rumor_rng Rumor_sim

@@ -1,0 +1,1 @@
+lib/p2p/partition.ml: Array List Overlay Rumor_rng

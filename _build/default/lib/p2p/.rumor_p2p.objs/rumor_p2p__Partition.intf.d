@@ -1,0 +1,1 @@
+lib/p2p/partition.mli: Overlay Rumor_rng

@@ -1,0 +1,1 @@
+lib/p2p/replica.ml: Array Hashtbl Overlay Rumor_rng Rumor_sim

@@ -1,0 +1,1 @@
+lib/p2p/replica.mli: Overlay Rumor_rng Rumor_sim

@@ -1,0 +1,1 @@
+lib/p2p/switcher.mli: Overlay Rumor_rng

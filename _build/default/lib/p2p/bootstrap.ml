@@ -1,0 +1,59 @@
+module Rng = Rumor_rng.Rng
+module Graph = Rumor_graph.Graph
+module Traversal = Rumor_graph.Traversal
+module Spectral = Rumor_graph.Spectral
+
+let grow ~rng ~n ~d ?switches_per_join ~capacity () =
+  if d <= 0 || d mod 2 <> 0 then invalid_arg "Bootstrap.grow: d must be positive and even";
+  if n < d + 1 then invalid_arg "Bootstrap.grow: n < d + 1";
+  if capacity < n then invalid_arg "Bootstrap.grow: capacity < n";
+  let switches = match switches_per_join with Some s -> s | None -> 2 * d in
+  let o = Overlay.create ~capacity in
+  (* Seed: the complete graph on d+1 peers is d-regular. *)
+  let seed = Array.init (d + 1) (fun _ -> Overlay.activate o) in
+  Array.iteri
+    (fun i u ->
+      Array.iteri (fun j w -> if i < j then Overlay.add_edge o u w) seed)
+    seed;
+  for _ = d + 2 to n do
+    ignore (Churn.join o ~rng ~d);
+    ignore (Switcher.run o ~rng ~steps:switches)
+  done;
+  o
+
+type quality = {
+  regular : bool;
+  connected : bool;
+  lambda2 : float;
+  ramanujan : float;
+}
+
+(* Re-index the live nodes to 0..live-1 so isolated dead ids do not
+   pollute spectral estimates. *)
+let compact o =
+  let cap = Overlay.capacity o in
+  let index = Array.make cap (-1) in
+  let live = ref 0 in
+  for v = 0 to cap - 1 do
+    if Overlay.is_alive o v then begin
+      index.(v) <- !live;
+      incr live
+    end
+  done;
+  let g = Overlay.snapshot o in
+  let edges = ref [] in
+  Graph.iter_edges g (fun u w -> edges := (index.(u), index.(w)) :: !edges);
+  Graph.of_edges ~n:!live !edges
+
+let quality ~rng ~d o =
+  let regular = ref true in
+  for v = 0 to Overlay.capacity o - 1 do
+    if Overlay.is_alive o v && Overlay.degree o v <> d then regular := false
+  done;
+  let g = compact o in
+  {
+    regular = !regular;
+    connected = Traversal.is_connected g;
+    lambda2 = Spectral.lambda2 g ~rng ~iters:80;
+    ramanujan = Spectral.ramanujan_bound d;
+  }

@@ -1,0 +1,35 @@
+(** Growing a random regular overlay from nothing.
+
+    The paper's model assumes the P2P system {e is} a random
+    [d]-regular graph; this module shows the overlay actually reaching
+    that state by purely local operations: start from a [(d+1)]-clique,
+    let peers join one at a time through degree-preserving edge
+    splitting ({!Churn.join}), and keep mixing with the edge-switch
+    chain ({!Switcher}). The result is statistically indistinguishable
+    from a configuration-model sample — {!quality} quantifies how close
+    via the spectral gap. *)
+
+val grow :
+  rng:Rumor_rng.Rng.t ->
+  n:int ->
+  d:int ->
+  ?switches_per_join:int ->
+  capacity:int ->
+  unit ->
+  Overlay.t
+(** [grow ~rng ~n ~d ~capacity ()] builds an [n]-node [d]-regular
+    overlay: a [(d+1)]-clique seed, then [n - d - 1] joins, each
+    followed by [switches_per_join] (default [2 * d]) switch attempts.
+    Requires [d] even (edge-splitting joins) and [d + 1 <= n].
+    @raise Invalid_argument on an odd or non-positive [d], [n < d + 1]
+    or [capacity < n]. *)
+
+type quality = {
+  regular : bool;  (** every live node has degree exactly [d] *)
+  connected : bool;
+  lambda2 : float;  (** spectral estimate of the snapshot *)
+  ramanujan : float;  (** [2 sqrt (d-1)], the random-graph benchmark *)
+}
+
+val quality : rng:Rumor_rng.Rng.t -> d:int -> Overlay.t -> quality
+(** Structural health check of a grown overlay. *)

@@ -1,0 +1,83 @@
+module Rng = Rumor_rng.Rng
+
+let join t ~rng ~d =
+  if d <= 0 || d mod 2 <> 0 then invalid_arg "Churn.join: d must be positive and even";
+  if Overlay.edge_count t < d / 2 then failwith "Churn.join: too few edges to split";
+  let fresh = Overlay.activate t in
+  for _ = 1 to d / 2 do
+    (* Draw an edge not incident to the newcomer; splitting one of the
+       newcomer's own edges would change its final degree. *)
+    let rec draw budget =
+      if budget = 0 then failwith "Churn.join: could not sample a splittable edge";
+      match Overlay.random_edge t rng with
+      | None -> failwith "Churn.join: no edges"
+      | Some (u, w) -> if u = fresh || w = fresh then draw (budget - 1) else (u, w)
+    in
+    let u, w = draw 10_000 in
+    let removed = Overlay.remove_edge t u w in
+    assert removed;
+    Overlay.add_edge t u fresh;
+    Overlay.add_edge t fresh w
+  done;
+  fresh
+
+let join_local t ~rng ~d ~contact ~walk_length =
+  if d <= 0 || d mod 2 <> 0 then
+    invalid_arg "Churn.join_local: d must be positive and even";
+  if walk_length < 1 then invalid_arg "Churn.join_local: walk_length < 1";
+  if not (Overlay.is_alive t contact) then
+    invalid_arg "Churn.join_local: dead contact";
+  let fresh = Overlay.activate t in
+  let walk_step v =
+    let deg = Overlay.degree t v in
+    if deg = 0 then None else Some (Overlay.neighbor t v (Rng.int rng deg))
+  in
+  for _ = 1 to d / 2 do
+    (* Walk walk_length - 1 steps, then record the final traversed edge. *)
+    let rec sample budget =
+      if budget = 0 then failwith "Churn.join_local: no splittable edge found";
+      let u = ref contact in
+      let ok = ref true in
+      for _ = 1 to walk_length - 1 do
+        match walk_step !u with
+        | Some w -> u := w
+        | None -> ok := false
+      done;
+      match (!ok, walk_step !u) with
+      | true, Some w
+        when !u <> fresh && w <> fresh && Overlay.remove_edge t !u w ->
+          (!u, w)
+      | _ -> sample (budget - 1)
+    in
+    let u, w = sample 10_000 in
+    Overlay.add_edge t u fresh;
+    Overlay.add_edge t fresh w
+  done;
+  fresh
+
+let leave t ~rng ~node =
+  if not (Overlay.is_alive t node) then invalid_arg "Churn.leave: not alive";
+  (* Collect the half-edges the departing node leaves behind; a stub per
+     incident edge copy, excluding self-loops (those vanish whole). *)
+  let stubs =
+    List.filter (fun w -> w <> node) (Overlay.neighbors t node)
+  in
+  Overlay.deactivate t node;
+  let arr = Array.of_list stubs in
+  Rng.shuffle rng arr;
+  let i = ref 0 in
+  while !i + 1 < Array.length arr do
+    Overlay.add_edge t arr.(!i) arr.(!i + 1);
+    i := !i + 2
+  done
+
+let leave_random t ~rng =
+  let v = Overlay.random_node t rng in
+  leave t ~rng ~node:v;
+  v
+
+let session t ~rng ~d ~join_prob ~leave_prob () =
+  if Rng.bernoulli rng join_prob && Overlay.node_count t < Overlay.capacity t
+  then ignore (join t ~rng ~d);
+  if Rng.bernoulli rng leave_prob && Overlay.node_count t > d + 2 then
+    ignore (leave_random t ~rng)

@@ -1,0 +1,76 @@
+module Rng = Rumor_rng.Rng
+module Dist = Rumor_rng.Dist
+
+type t = {
+  overlay : Overlay.t;
+  k : int;
+  minima : float array array;  (* per node, length k; dead nodes unused *)
+}
+
+let create ~rng ~overlay ~k =
+  if k < 1 then invalid_arg "Estimator.create: k < 1";
+  let cap = Overlay.capacity overlay in
+  let minima =
+    Array.init cap (fun v ->
+        if Overlay.is_alive overlay v then
+          Array.init k (fun _ -> Dist.exponential rng ~rate:1.)
+        else [||])
+  in
+  { overlay; k; minima }
+
+let merge_into dst src =
+  let changed = ref false in
+  Array.iteri
+    (fun i x ->
+      if x < dst.(i) then begin
+        dst.(i) <- x;
+        changed := true
+      end)
+    src;
+  !changed
+
+let round ~rng t =
+  let changed = ref 0 in
+  let cap = Overlay.capacity t.overlay in
+  for v = 0 to cap - 1 do
+    if Overlay.is_alive t.overlay v then begin
+      let d = Overlay.degree t.overlay v in
+      if d > 0 then begin
+        let w = Overlay.neighbor t.overlay v (Rng.int rng d) in
+        if w <> v then begin
+          let a = merge_into t.minima.(v) t.minima.(w) in
+          let b = merge_into t.minima.(w) t.minima.(v) in
+          if a then incr changed;
+          if b then incr changed
+        end
+      end
+    end
+  done;
+  !changed
+
+let run ~rng ?max_rounds t =
+  let cap = Overlay.capacity t.overlay in
+  let limit = match max_rounds with Some m -> m | None -> max 10 (10 * cap) in
+  let rounds = ref 0 in
+  let continue = ref true in
+  while !continue && !rounds < limit do
+    incr rounds;
+    if round ~rng t = 0 then continue := false
+  done;
+  !rounds
+
+let estimate t ~node =
+  let sum = Array.fold_left ( +. ) 0. t.minima.(node) in
+  if sum <= 0. then infinity else float_of_int t.k /. sum
+
+let worst_error t =
+  let n = float_of_int (Overlay.node_count t.overlay) in
+  let worst = ref 1. in
+  for v = 0 to Overlay.capacity t.overlay - 1 do
+    if Overlay.is_alive t.overlay v then begin
+      let e = estimate t ~node:v in
+      let err = Float.max (e /. n) (n /. e) in
+      if err > !worst then worst := err
+    end
+  done;
+  !worst

@@ -1,0 +1,38 @@
+(** Decentralised network-size estimation.
+
+    The paper assumes every node knows [n] "to within a constant
+    factor" (Section 1.2) but does not say where the estimate comes
+    from; in a real P2P deployment it must itself be computed by
+    gossip. This module provides the classic minimum-of-exponentials
+    estimator (Mosk-Aoyama & Shah): every node draws [k] independent
+    Exp(1) variables, the network computes coordinate-wise minima by
+    flooding over the overlay (min is idempotent, so repeated exchange
+    converges in diameter-many rounds), and each node estimates
+    [n ≈ k / sum_of_minima]. The estimate is within a constant factor
+    of [n] with probability [1 - e^{-Omega(k)}] — exactly the accuracy
+    the broadcast algorithm needs. *)
+
+type t
+(** Per-node estimator state over an overlay. *)
+
+val create : rng:Rumor_rng.Rng.t -> overlay:Overlay.t -> k:int -> t
+(** [create ~rng ~overlay ~k] draws each live node's [k] exponentials.
+    @raise Invalid_argument if [k < 1]. *)
+
+val round : rng:Rumor_rng.Rng.t -> t -> int
+(** One synchronous gossip round: every live node exchanges its minima
+    vector with one uniform random neighbour (both directions) and
+    keeps the coordinate-wise minima. Returns the number of nodes
+    whose vector changed — 0 once converged. *)
+
+val run : rng:Rumor_rng.Rng.t -> ?max_rounds:int -> t -> int
+(** Gossip until no vector changes (or [max_rounds], default 10 times
+    the trivial diameter bound); returns rounds executed. *)
+
+val estimate : t -> node:int -> float
+(** [estimate t ~node] is the node's current size estimate
+    [k / sum (minima)]. *)
+
+val worst_error : t -> float
+(** [max over live nodes of max(est/n, n/est)] — the constant factor by
+    which the worst node is off. 1.0 is a perfect estimate. *)

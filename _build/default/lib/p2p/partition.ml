@@ -1,0 +1,40 @@
+module Rng = Rumor_rng.Rng
+
+type t = { mutable removed : (int * int) list; mutable healed : bool }
+
+let split_by o ~side =
+  let removed = ref [] in
+  let cap = Overlay.capacity o in
+  for v = 0 to cap - 1 do
+    if Overlay.is_alive o v && side v then
+      (* Remove every incident edge whose other endpoint is outside. *)
+      List.iter
+        (fun w ->
+          if (not (side w)) && Overlay.remove_edge o v w then
+            removed := (v, w) :: !removed)
+        (Overlay.neighbors o v)
+  done;
+  { removed = !removed; healed = false }
+
+let split_random o ~rng ~fraction =
+  if fraction < 0. || fraction > 1. then
+    invalid_arg "Partition.split_random: fraction out of range";
+  let cap = Overlay.capacity o in
+  let minority = Array.make cap false in
+  for v = 0 to cap - 1 do
+    if Overlay.is_alive o v then minority.(v) <- Rng.bernoulli rng fraction
+  done;
+  split_by o ~side:(fun v -> minority.(v))
+
+let cut_size t = if t.healed then 0 else List.length t.removed
+
+let heal o t =
+  if not t.healed then begin
+    List.iter
+      (fun (u, v) ->
+        if Overlay.is_alive o u && Overlay.is_alive o v then
+          Overlay.add_edge o u v)
+      t.removed;
+    t.healed <- true;
+    t.removed <- []
+  end

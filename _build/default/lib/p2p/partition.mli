@@ -1,0 +1,29 @@
+(** Transient network partitions.
+
+    The paper's failure story covers lost messages; real P2P systems
+    also suffer {e partitions} — the overlay splits into components
+    that cannot talk until connectivity heals. This module cuts an
+    overlay along a vertex bipartition (removing all cross edges,
+    remembering them) and can later heal it (re-adding exactly the
+    removed edges). Combined with the engine's [on_round_end] hook it
+    models a partition window during a broadcast. *)
+
+type t
+(** The set of removed cross edges, owned until {!heal}. *)
+
+val split_random :
+  Overlay.t -> rng:Rumor_rng.Rng.t -> fraction:float -> t
+(** [split_random o ~fraction] assigns each live node to the minority
+    side with probability [fraction] and removes every edge crossing
+    the cut.
+    @raise Invalid_argument if [fraction] is outside [\[0, 1\]]. *)
+
+val split_by : Overlay.t -> side:(int -> bool) -> t
+(** Partition along an explicit predicate (minority = [side v]). *)
+
+val cut_size : t -> int
+(** Number of edges currently removed. *)
+
+val heal : Overlay.t -> t -> unit
+(** Re-add all removed edges (skipping endpoints that died in the
+    meantime). Idempotent: healing twice adds nothing twice. *)

@@ -1,0 +1,131 @@
+module Rng = Rumor_rng.Rng
+module Engine = Rumor_sim.Engine
+
+type entry = { data : int; version : int }
+
+type t = {
+  capacity : int;
+  stores : (int, entry) Hashtbl.t array;
+  newest : (int, int) Hashtbl.t;  (* key -> newest version ever issued *)
+  mutable clock : int;
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Replica.create: capacity < 0";
+  {
+    capacity;
+    stores = Array.init capacity (fun _ -> Hashtbl.create 8);
+    newest = Hashtbl.create 64;
+    clock = 0;
+  }
+
+let read t ~node ~key =
+  match Hashtbl.find_opt t.stores.(node) key with
+  | Some { data; version } -> Some (data, version)
+  | None -> None
+
+let store_size t ~node = Hashtbl.length t.stores.(node)
+
+let apply t ~node ~key ~data ~version =
+  let fresh =
+    match Hashtbl.find_opt t.stores.(node) key with
+    | Some { version = v; _ } -> version > v
+    | None -> true
+  in
+  if fresh then Hashtbl.replace t.stores.(node) key { data; version };
+  fresh
+
+let local_write t ~node ~key ~data =
+  t.clock <- t.clock + 1;
+  let version = t.clock in
+  ignore (apply t ~node ~key ~data ~version);
+  Hashtbl.replace t.newest key version;
+  version
+
+let broadcast ?fault ~rng ~overlay ~protocol t ~origin ~key ~data =
+  let version = local_write t ~node:origin ~key ~data in
+  let result =
+    Engine.run ?fault ~rng ~topology:(Overlay.to_topology overlay) ~protocol
+      ~sources:[ origin ] ()
+  in
+  Array.iteri
+    (fun node knows ->
+      if knows && node <> origin then
+        ignore (apply t ~node ~key ~data ~version))
+    result.Engine.knows;
+  result
+
+type sync_cost = { transfers : int; compared : int }
+
+let sync_pair t a b =
+  (* Exchange entries in both directions; count transfers of entries the
+     receiver was missing or held in an older version, and the entries
+     examined along the way (the digest cost). *)
+  let transfers = ref 0 and compared = ref 0 in
+  let push_newer src dst =
+    Hashtbl.iter
+      (fun key { data; version } ->
+        incr compared;
+        if apply t ~node:dst ~key ~data ~version then incr transfers)
+      t.stores.(src)
+  in
+  push_newer a b;
+  push_newer b a;
+  { transfers = !transfers; compared = !compared }
+
+let anti_entropy_round ~rng ~overlay t =
+  let transfers = ref 0 and compared = ref 0 in
+  for v = 0 to Overlay.capacity overlay - 1 do
+    if Overlay.is_alive overlay v then begin
+      let d = Overlay.degree overlay v in
+      if d > 0 then begin
+        let w = Overlay.neighbor overlay v (Rng.int rng d) in
+        if w <> v then begin
+          let c = sync_pair t v w in
+          transfers := !transfers + c.transfers;
+          compared := !compared + c.compared
+        end
+      end
+    end
+  done;
+  { transfers = !transfers; compared = !compared }
+
+let staleness t ~overlay ~key =
+  match Hashtbl.find_opt t.newest key with
+  | None -> nan
+  | Some newest ->
+      let live = ref 0 and stale = ref 0 in
+      for v = 0 to Overlay.capacity overlay - 1 do
+        if Overlay.is_alive overlay v then begin
+          incr live;
+          let current =
+            match Hashtbl.find_opt t.stores.(v) key with
+            | Some { version; _ } -> version = newest
+            | None -> false
+          in
+          if not current then incr stale
+        end
+      done;
+      if !live = 0 then nan else float_of_int !stale /. float_of_int !live
+
+let converged t ~overlay =
+  (* Compare every live store against the first live one. *)
+  let canonical = ref None in
+  let ok = ref true in
+  for v = 0 to Overlay.capacity overlay - 1 do
+    if !ok && Overlay.is_alive overlay v then begin
+      match !canonical with
+      | None -> canonical := Some v
+      | Some c ->
+          let sc = t.stores.(c) and sv = t.stores.(v) in
+          if Hashtbl.length sc <> Hashtbl.length sv then ok := false
+          else
+            Hashtbl.iter
+              (fun key entry ->
+                match Hashtbl.find_opt sv key with
+                | Some e when e = entry -> ()
+                | Some _ | None -> ok := false)
+              sc
+    end
+  done;
+  !ok

@@ -1,0 +1,63 @@
+(** Replicated key-value databases over a gossip substrate — the
+    motivating application of the paper ([7], Demers et al.): every
+    node holds a replica, updates enter at arbitrary nodes and must
+    reach all replicas with as few message transmissions as possible.
+
+    Versions are globally increasing integers (last-writer-wins), so
+    replicas converge to the same contents regardless of delivery
+    order. Updates propagate either by {!broadcast} (rumor mongering
+    with a pluggable protocol — the paper's algorithm in the
+    experiments) or by {!anti_entropy_round} (pairwise full sync, the
+    expensive fallback of [7]). *)
+
+type t
+
+val create : capacity:int -> t
+(** Empty replicas for node ids [0 .. capacity-1]. *)
+
+val read : t -> node:int -> key:int -> (int * int) option
+(** [read t ~node ~key] is [Some (data, version)] if the replica holds
+    the key. *)
+
+val store_size : t -> node:int -> int
+(** Number of keys the node's replica holds. *)
+
+val local_write : t -> node:int -> key:int -> data:int -> int
+(** Apply a fresh update at its origin; returns the assigned version. *)
+
+val apply : t -> node:int -> key:int -> data:int -> version:int -> bool
+(** Merge a remote update; [true] if it was newer and got applied. *)
+
+val broadcast :
+  ?fault:Rumor_sim.Fault.t ->
+  rng:Rumor_rng.Rng.t ->
+  overlay:Overlay.t ->
+  protocol:'st Rumor_sim.Protocol.t ->
+  t ->
+  origin:int ->
+  key:int ->
+  data:int ->
+  Rumor_sim.Engine.result
+(** Write at [origin] and spread the update with one run of the
+    broadcast engine over the overlay; the update is delivered to
+    exactly the nodes the rumor reached. *)
+
+type sync_cost = {
+  transfers : int;  (** entries actually copied (receiver was behind) *)
+  compared : int;  (** entries examined to compute the deltas — the
+                       full-store digest exchange that makes
+                       anti-entropy expensive in [7] *)
+}
+
+val anti_entropy_round : rng:Rumor_rng.Rng.t -> overlay:Overlay.t -> t -> sync_cost
+(** One classic anti-entropy round: every live node picks a uniform
+    random neighbour and the pair reconcile their full stores (both
+    directions, last-writer-wins). *)
+
+val staleness : t -> overlay:Overlay.t -> key:int -> float
+(** Fraction of live nodes {e not} holding the globally newest version
+    of [key]; 0 when everyone is current, [nan] if the key was never
+    written. *)
+
+val converged : t -> overlay:Overlay.t -> bool
+(** Whether all live replicas have identical contents. *)

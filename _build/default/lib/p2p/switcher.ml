@@ -1,0 +1,37 @@
+let switch_once t ~rng =
+  match Overlay.random_edge t rng with
+  | None -> false
+  | Some (a, b) -> begin
+      match Overlay.random_edge t rng with
+      | None -> false
+      | Some (c, d) ->
+          (* Reject proposals that would create self-loops; rejecting
+             keeps the chain symmetric. Identical draws are rejected by
+             the same rule (a = d would make (a, d) a loop only when
+             a = d; distinctness of the two edge copies is not required
+             for degree preservation). *)
+          if a = d || c = b || (a = c && b = d) then false
+          else if not (Overlay.remove_edge t a b) then false
+          else if not (Overlay.remove_edge t c d) then begin
+            (* The second edge disappeared with the first removal (it
+               was the same copy); restore and reject. *)
+            Overlay.add_edge t a b;
+            false
+          end
+          else begin
+            Overlay.add_edge t a d;
+            Overlay.add_edge t c b;
+            true
+          end
+    end
+
+let run t ~rng ~steps =
+  let applied = ref 0 in
+  for _ = 1 to steps do
+    if switch_once t ~rng then incr applied
+  done;
+  !applied
+
+let scramble t ~rng ~passes =
+  let steps = passes * Overlay.edge_count t in
+  ignore (run t ~rng ~steps)

@@ -1,0 +1,23 @@
+(** The local edge-switch Markov chain that re-randomises an overlay.
+
+    A switch picks two uniform edges [(a, b)] and [(c, d)] and rewires
+    them to [(a, d)] and [(c, b)]. Switches preserve every degree, and
+    the chain's stationary distribution is uniform over multigraphs
+    with the given degree sequence — this is the standard
+    overlay-maintenance process of Feder et al. [16] and
+    Mahlmann–Schindelhauer [29] that justifies the paper's
+    random-regular-graph model of P2P networks. *)
+
+val switch_once : Overlay.t -> rng:Rumor_rng.Rng.t -> bool
+(** Attempt one switch; [false] when the proposal was rejected (it
+    would have created a self-loop, touched fewer than 2 edges, or
+    picked overlapping endpoints). *)
+
+val run : Overlay.t -> rng:Rumor_rng.Rng.t -> steps:int -> int
+(** [run t ~rng ~steps] attempts [steps] switches and returns how many
+    were applied. A few [steps] per edge suffice to decorrelate the
+    topology from its history. *)
+
+val scramble : Overlay.t -> rng:Rumor_rng.Rng.t -> passes:int -> unit
+(** [scramble t ~passes] runs [passes * edge_count] switch attempts —
+    convenience for "mix well". *)

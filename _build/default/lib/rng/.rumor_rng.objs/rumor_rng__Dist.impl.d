@@ -1,0 +1,1 @@
+lib/rng/dist.ml: Float Rng

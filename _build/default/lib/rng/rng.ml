@@ -1,0 +1,107 @@
+type t = Xoshiro.t
+
+let create seed = Xoshiro.create (Int64.of_int seed)
+let copy = Xoshiro.copy
+
+let split t =
+  let s0 = Xoshiro.next t in
+  let s1 = Xoshiro.next t in
+  let s2 = Xoshiro.next t in
+  let s3 = Xoshiro.next t in
+  if Int64.logor (Int64.logor s0 s1) (Int64.logor s2 s3) = 0L then
+    Xoshiro.of_state 1L s1 s2 s3
+  else Xoshiro.of_state s0 s1 s2 s3
+
+let fork t i =
+  let probe = Xoshiro.copy t in
+  let base = Xoshiro.next probe in
+  let sm = Splitmix64.create (Int64.logxor base (Int64.of_int (i * 2 + 1))) in
+  let s0 = Splitmix64.next sm in
+  let s1 = Splitmix64.next sm in
+  let s2 = Splitmix64.next sm in
+  let s3 = Splitmix64.next sm in
+  if Int64.logor (Int64.logor s0 s1) (Int64.logor s2 s3) = 0L then
+    Xoshiro.of_state 1L s1 s2 s3
+  else Xoshiro.of_state s0 s1 s2 s3
+
+let bits64 = Xoshiro.next
+
+(* Unbiased bounded integers via rejection on the top 62 bits. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
+  let mask =
+    let rec widen m = if m >= bound - 1 then m else widen ((m lsl 1) lor 1) in
+    widen 1
+  in
+  let rec draw () =
+    let x = Int64.to_int (Int64.shift_right_logical (Xoshiro.next t) 2) in
+    let x = x land mask in
+    if x < bound then x else draw ()
+  in
+  draw ()
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let float t =
+  let x = Int64.shift_right_logical (Xoshiro.next t) 11 in
+  Int64.to_float x *. 0x1.0p-53
+
+let bool t = Int64.logand (Xoshiro.next t) 1L = 1L
+
+let bernoulli t p = if p <= 0. then false else if p >= 1. then true else float t < p
+
+let shuffle_prefix t a k =
+  let n = Array.length a in
+  if k < 0 || k > n then invalid_arg "Rng.shuffle_prefix";
+  for i = 0 to k - 1 do
+    let j = i + int t (n - i) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let shuffle t a = shuffle_prefix t a (Array.length a)
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))
+
+let distinct_into t ~bound ~k out =
+  if k < 0 || k > bound then invalid_arg "Rng.distinct_into: k out of range";
+  if Array.length out < k then invalid_arg "Rng.distinct_into: out too short";
+  if 2 * k <= bound then begin
+    (* Rejection: for k <= bound/2 the expected number of retries per
+       position is at most 1, and k is tiny (4 in the paper's model). *)
+    let i = ref 0 in
+    while !i < k do
+      let x = int t bound in
+      let dup = ref false in
+      for j = 0 to !i - 1 do
+        if out.(j) = x then dup := true
+      done;
+      if not !dup then begin
+        out.(!i) <- x;
+        incr i
+      end
+    done;
+    k
+  end
+  else begin
+    (* Dense case: partial Fisher–Yates over a scratch identity array. *)
+    let scratch = Array.init bound (fun i -> i) in
+    shuffle_prefix t scratch k;
+    Array.blit scratch 0 out 0 k;
+    k
+  end
+
+let distinct t ~bound ~k =
+  let out = Array.make (max k 1) 0 in
+  let _ = distinct_into t ~bound ~k out in
+  Array.sub out 0 k
+
+let permutation t n =
+  let a = Array.init n (fun i -> i) in
+  shuffle t a;
+  a

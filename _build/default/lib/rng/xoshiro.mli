@@ -1,0 +1,28 @@
+(** Xoshiro256** pseudo-random number generator (Blackman & Vigna 2018).
+
+    The workhorse generator of the library: 256 bits of state, period
+    [2^256 - 1], passes BigCrush, and is very fast. All simulation code
+    goes through {!Rng}, which wraps this module. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] expands [seed] through SplitMix64 into a full 256-bit
+    state, as recommended by the xoshiro authors. *)
+
+val of_state : int64 -> int64 -> int64 -> int64 -> t
+(** [of_state s0 s1 s2 s3] builds a generator from an explicit state.
+    The state must not be all zero.
+    @raise Invalid_argument on the all-zero state. *)
+
+val copy : t -> t
+(** [copy t] duplicates the state; the copies evolve independently. *)
+
+val next : t -> int64
+(** [next t] advances the state and returns 64 pseudo-random bits. *)
+
+val jump : t -> unit
+(** [jump t] advances [t] by [2^128] steps. Starting from a common seed,
+    repeated jumps produce non-overlapping subsequences — one per
+    parallel experiment stream. *)

@@ -1,0 +1,1 @@
+lib/sim/async.ml: Array Fault List Protocol Rumor_graph Rumor_rng Selector

@@ -1,0 +1,1 @@
+lib/sim/async.mli: Fault Protocol Rumor_graph Rumor_rng

@@ -1,0 +1,1 @@
+lib/sim/multi.ml: Array Fault List Protocol Rumor_rng Selector Topology

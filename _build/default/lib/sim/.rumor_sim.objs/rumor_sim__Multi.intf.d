@@ -1,0 +1,1 @@
+lib/sim/multi.mli: Fault Protocol Rumor_rng Topology

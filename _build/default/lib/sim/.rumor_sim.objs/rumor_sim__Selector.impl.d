@@ -1,0 +1,1 @@
+lib/sim/selector.ml: Array Rumor_rng

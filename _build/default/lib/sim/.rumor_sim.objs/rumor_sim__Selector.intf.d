@@ -1,0 +1,1 @@
+lib/sim/selector.mli: Rumor_rng

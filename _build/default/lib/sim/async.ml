@@ -1,0 +1,97 @@
+module Rng = Rumor_rng.Rng
+module Dist = Rumor_rng.Dist
+module Graph = Rumor_graph.Graph
+
+type result = {
+  activations : int;
+  time : float;
+  completion_time : float option;
+  informed : int;
+  transmissions : int;
+}
+
+let run ?(fault = Fault.none) ?(stop_when_complete = false) ~rng ~graph ~protocol ~sources () =
+  let open Protocol in
+  let n = Graph.n graph in
+  if sources = [] then invalid_arg "Async.run: no sources";
+  List.iter
+    (fun s -> if s < 0 || s >= n then invalid_arg "Async.run: bad source")
+    sources;
+  let informed = Array.make n false in
+  let state = Array.init n (fun _ -> protocol.init ~informed:false) in
+  List.iter
+    (fun s ->
+      informed.(s) <- true;
+      state.(s) <- protocol.init ~informed:true)
+    sources;
+  let selector = Selector.make protocol.selector ~capacity:n in
+  let scratch = Array.make (max (Selector.fanout protocol.selector) 1) 0 in
+  let time = ref 0. in
+  let activations = ref 0 in
+  let transmissions = ref 0 in
+  let informed_count = ref (List.length sources) in
+  let completion = ref (if !informed_count = n then Some 0. else None) in
+  let horizon = float_of_int protocol.horizon in
+  let logical () = int_of_float !time + 1 in
+  (* Quiescence is only re-checked occasionally (it costs O(n)); the
+     horizon bounds the run regardless. *)
+  let all_quiet () =
+    let quiet = ref true in
+    let round = logical () in
+    for v = 0 to n - 1 do
+      if informed.(v) && not (protocol.quiescent state.(v) ~round) then
+        quiet := false
+    done;
+    !quiet
+  in
+  let stop = ref false in
+  while (not !stop) && !time < horizon do
+    (* Superposition of n rate-1 clocks: global rate n. *)
+    time := !time +. Dist.exponential rng ~rate:(float_of_int n);
+    if !time < horizon then begin
+      incr activations;
+      let v = Rng.int rng n in
+      let deg = Graph.degree graph v in
+      if deg > 0 then begin
+        let round = logical () in
+        let k = Selector.select selector ~rng ~node:v ~degree:deg ~out:scratch in
+        let deliver ~sender target =
+          if not informed.(target) then begin
+            informed.(target) <- true;
+            state.(target) <- protocol.receive state.(target) ~round;
+            incr informed_count;
+            if !informed_count = n then completion := Some !time
+          end
+          else state.(sender) <- protocol.feedback state.(sender) ~round
+        in
+        for i = 0 to k - 1 do
+          let w = Graph.neighbor graph v scratch.(i) in
+          if Fault.channel_ok fault rng then begin
+            (* push: the activated caller transmits to the callee. *)
+            if informed.(v) && (protocol.decide state.(v) ~round).push
+               && Fault.delivery_ok fault rng
+            then begin
+              incr transmissions;
+              deliver ~sender:v w
+            end;
+            (* pull: the callee answers the caller. *)
+            if informed.(w) && (protocol.decide state.(w) ~round).pull
+               && Fault.delivery_ok fault rng
+            then begin
+              incr transmissions;
+              deliver ~sender:w v
+            end
+          end
+        done
+      end;
+      if stop_when_complete && !informed_count = n then stop := true;
+      if !activations mod (4 * n) = 0 && all_quiet () then stop := true
+    end
+  done;
+  {
+    activations = !activations;
+    time = !time;
+    completion_time = !completion;
+    informed = !informed_count;
+    transmissions = !transmissions;
+  }

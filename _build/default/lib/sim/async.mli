@@ -1,0 +1,44 @@
+(** Asynchronous (continuous-time) execution of phone-call protocols.
+
+    The paper's model is synchronous: all nodes act in lockstep rounds
+    driven by a global clock. Real P2P systems are only loosely
+    synchronised, and the standard asynchronous relaxation gives every
+    node an independent rate-1 Poisson clock: when a node's clock
+    rings, it opens its channels and transmits exactly as it would in a
+    round. One unit of continuous time corresponds to one expected
+    activation per node, so a protocol's round-indexed schedule maps
+    onto time by [logical round = floor time + 1] — nodes still share
+    a clock for {e timestamps} (message age), but not for {e actions}.
+
+    Comparing {!run} against {!Engine.run} measures how much of the
+    paper's analysis survives without the synchrony assumption
+    (ablation A2 stresses bounded skew; this module removes lockstep
+    entirely). *)
+
+type result = {
+  activations : int;  (** node activations executed *)
+  time : float;  (** continuous time at the end of the run *)
+  completion_time : float option;
+      (** time at which the last node became informed *)
+  informed : int;
+  transmissions : int;  (** deliveries, counted as in {!Engine} *)
+}
+
+val run :
+  ?fault:Fault.t ->
+  ?stop_when_complete:bool ->
+  rng:Rumor_rng.Rng.t ->
+  graph:Rumor_graph.Graph.t ->
+  protocol:'st Protocol.t ->
+  sources:int list ->
+  unit ->
+  result
+(** [run ~protocol ~sources ()] executes activations in Poisson order
+    until every informed node is quiescent at its current logical round
+    or continuous time exceeds the protocol's [horizon] (in time
+    units); [stop_when_complete] (default false) additionally stops as
+    soon as everyone is informed — the oracle-stopped accounting used
+    for baselines. Only the [Uniform] selector is meaningful per-activation;
+    stateful selectors are accepted and keep their per-node state
+    across activations.
+    @raise Invalid_argument if [sources] is empty or out of range. *)

@@ -1,0 +1,188 @@
+module Rng = Rumor_rng.Rng
+
+type result = {
+  rounds : int;
+  completion_round : int option;
+  informed : int;
+  population : int;
+  push_tx : int;
+  pull_tx : int;
+  channels : int;
+  knows : bool array;
+  trace : Trace.t option;
+}
+
+let transmissions r = r.push_tx + r.pull_tx
+let success r = r.population > 0 && r.informed = r.population
+
+let run ?(fault = Fault.none) ?(collect_trace = false) ?(stop_when_complete = false)
+    ?on_round_end ?skew ~rng ~topology ~protocol ~sources () =
+  let open Topology in
+  let open Protocol in
+  let cap = topology.capacity in
+  let skew = match skew with Some f -> f | None -> fun _ -> 0 in
+  let max_skew =
+    let worst = ref 0 in
+    for v = 0 to cap - 1 do
+      if skew v > !worst then worst := skew v
+    done;
+    !worst
+  in
+  if sources = [] then invalid_arg "Engine.run: no sources";
+  List.iter
+    (fun s ->
+      if s < 0 || s >= cap || not (topology.alive s) then
+        invalid_arg "Engine.run: bad source")
+    sources;
+  let informed = Array.make cap false in
+  let state = Array.init cap (fun _ -> protocol.init ~informed:false) in
+  List.iter
+    (fun s ->
+      informed.(s) <- true;
+      state.(s) <- protocol.init ~informed:true)
+    sources;
+  let selector = Selector.make protocol.selector ~capacity:cap in
+  let scratch = Array.make (max (Selector.fanout protocol.selector) 1) 0 in
+  (* Per-round decision cache: [decide] runs once per informed node. *)
+  let dec = Array.make cap Protocol.silent in
+  let stamp = Array.make cap (-1) in
+  (* Newly-informed set, applied at the end of the round so a node never
+     forwards a rumor in the round it first receives it. *)
+  let pending = Array.make cap false in
+  let pending_ids = Array.make cap 0 in
+  let pending_len = ref 0 in
+  let mark v =
+    if not pending.(v) then begin
+      pending.(v) <- true;
+      pending_ids.(!pending_len) <- v;
+      incr pending_len
+    end
+  in
+  (* Sender-side feedback: how many of a node's transmissions this
+     round reached partners that already knew the rumor; applied after
+     receipts at the end of the round. *)
+  let dups = Array.make cap 0 in
+  let dup_ids = Array.make cap 0 in
+  let dup_len = ref 0 in
+  let record_dup v =
+    if dups.(v) = 0 then begin
+      dup_ids.(!dup_len) <- v;
+      incr dup_len
+    end;
+    dups.(v) <- dups.(v) + 1
+  in
+  let trace = if collect_trace then Some (Trace.create ()) else None in
+  let total_push = ref 0
+  and total_pull = ref 0
+  and total_channels = ref 0 in
+  let completion = ref None in
+  let round = ref 0 in
+  let stop = ref false in
+  while (not !stop) && !round < protocol.horizon + max_skew do
+    incr round;
+    let r = !round in
+    let decision_of v =
+      if stamp.(v) <> r then begin
+        let logical = r - skew v in
+        dec.(v) <-
+          (if logical < 1 then Protocol.silent
+           else protocol.decide state.(v) ~round:logical);
+        stamp.(v) <- r
+      end;
+      dec.(v)
+    in
+    let push_now = ref 0 and pull_now = ref 0 and channels_now = ref 0 in
+    for u = 0 to cap - 1 do
+      if topology.alive u then begin
+        let d = topology.degree u in
+        if d > 0 then begin
+          let k = Selector.select selector ~rng ~node:u ~degree:d ~out:scratch in
+          for i = 0 to k - 1 do
+            let w = topology.neighbor u scratch.(i) in
+            if topology.alive w && Fault.channel_ok fault rng then begin
+              incr channels_now;
+              if informed.(u) && (decision_of u).push
+                 && Fault.delivery_ok fault rng
+              then begin
+                incr push_now;
+                if informed.(w) || pending.(w) then record_dup u else mark w
+              end;
+              if informed.(w) && (decision_of w).pull
+                 && Fault.delivery_ok fault rng
+              then begin
+                incr pull_now;
+                if informed.(u) || pending.(u) then record_dup w else mark u
+              end
+            end
+          done
+        end
+      end
+    done;
+    let newly = !pending_len in
+    for i = 0 to !pending_len - 1 do
+      let v = pending_ids.(i) in
+      pending.(v) <- false;
+      informed.(v) <- true;
+      state.(v) <- protocol.receive state.(v) ~round:(max 0 (r - skew v))
+    done;
+    pending_len := 0;
+    for i = 0 to !dup_len - 1 do
+      let v = dup_ids.(i) in
+      let logical = max 0 (r - skew v) in
+      for _ = 1 to dups.(v) do
+        state.(v) <- protocol.feedback state.(v) ~round:logical
+      done;
+      dups.(v) <- 0
+    done;
+    dup_len := 0;
+    total_push := !total_push + !push_now;
+    total_pull := !total_pull + !pull_now;
+    total_channels := !total_channels + !channels_now;
+    (match on_round_end with Some f -> f r | None -> ());
+    (* Census after any churn: completion means every live node knows. *)
+    let live = ref 0 and know = ref 0 and all_quiet = ref true in
+    for v = 0 to cap - 1 do
+      if topology.alive v then begin
+        incr live;
+        if informed.(v) then begin
+          incr know;
+          let logical = r + 1 - skew v in
+          if logical < 1 || not (protocol.quiescent state.(v) ~round:logical)
+          then all_quiet := false
+        end
+      end
+    done;
+    (match trace with
+    | Some t ->
+        Trace.add t
+          {
+            Trace.round = r;
+            informed = !know;
+            newly;
+            push_tx = !push_now;
+            pull_tx = !pull_now;
+            channels = !channels_now;
+          }
+    | None -> ());
+    if !completion = None && !live > 0 && !know = !live then completion := Some r;
+    if !all_quiet then stop := true;
+    if stop_when_complete && !completion <> None then stop := true
+  done;
+  let live = ref 0 and know = ref 0 in
+  for v = 0 to cap - 1 do
+    if topology.alive v then begin
+      incr live;
+      if informed.(v) then incr know
+    end
+  done;
+  {
+    rounds = !round;
+    completion_round = !completion;
+    informed = !know;
+    population = !live;
+    push_tx = !total_push;
+    pull_tx = !total_pull;
+    channels = !total_channels;
+    knows = informed;
+    trace;
+  }

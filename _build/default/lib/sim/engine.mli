@@ -1,0 +1,70 @@
+(** The synchronous random phone call engine.
+
+    Each round executes the paper's [open; transmit; receive; close]
+    schedule:
+
+    + every live node opens channels to [fanout] distinct random
+      neighbours (per the protocol's {!Selector.spec});
+    + every informed node is asked for a {!Protocol.decision}; [push]
+      sends the rumor over the node's outgoing channels, [pull] over
+      its incoming channels;
+    + nodes that received the rumor for the first time update their
+      state; they can transmit from the next round on;
+    + all channels close.
+
+    Transmissions are counted per channel use — including redundant
+    deliveries to already-informed nodes — which is the quantity the
+    paper's theorems bound. *)
+
+type result = {
+  rounds : int;  (** rounds actually executed *)
+  completion_round : int option;
+      (** first round at whose end every live node was informed *)
+  informed : int;  (** informed live nodes at the end of the run *)
+  population : int;  (** live nodes at the end of the run *)
+  push_tx : int;  (** total push transmissions *)
+  pull_tx : int;  (** total pull transmissions *)
+  channels : int;  (** total channels successfully opened *)
+  knows : bool array;
+      (** final informed flag per node id (length = topology capacity) —
+          lets applications deliver the payload to exactly the reached
+          nodes *)
+  trace : Trace.t option;  (** per-round rows when requested *)
+}
+
+val transmissions : result -> int
+(** [push_tx + pull_tx]. *)
+
+val success : result -> bool
+(** Every live node informed when the run stopped. *)
+
+val run :
+  ?fault:Fault.t ->
+  ?collect_trace:bool ->
+  ?stop_when_complete:bool ->
+  ?on_round_end:(int -> unit) ->
+  ?skew:(int -> int) ->
+  rng:Rumor_rng.Rng.t ->
+  topology:Topology.t ->
+  protocol:'st Protocol.t ->
+  sources:int list ->
+  unit ->
+  result
+(** [run ~rng ~topology ~protocol ~sources ()] broadcasts one rumor
+    initially known to [sources]. The run stops at the protocol's
+    [horizon], or earlier once every informed node is quiescent, or —
+    when [stop_when_complete] is set (default false) — at the end of
+    the first round in which every live node is informed (the
+    "oracle-stopped" accounting used when measuring baseline message
+    complexity). [on_round_end] fires after each round and may mutate
+    the topology (churn) but must not change [capacity]; newly
+    appearing node ids start uninformed.
+
+    [skew v] is node [v]'s clock offset: the paper assumes perfectly
+    synchronised clocks, and this knob breaks that assumption — node
+    [v] evaluates its protocol at logical round [round - skew v]
+    (clamped so that a node whose clock has not started yet stays
+    silent and not yet quiescent). Default: no skew. The horizon grows
+    by the largest skew so late clocks still finish their schedule.
+    @raise Invalid_argument if [sources] is empty or contains a dead or
+    out-of-range id. *)

@@ -1,0 +1,18 @@
+module Rng = Rumor_rng.Rng
+
+type t = { call_failure : float; link_loss : float }
+
+let none = { call_failure = 0.; link_loss = 0. }
+
+let make ?(call_failure = 0.) ?(link_loss = 0.) () =
+  let check name p =
+    if p < 0. || p > 1. then invalid_arg ("Fault.make: " ^ name ^ " out of range")
+  in
+  check "call_failure" call_failure;
+  check "link_loss" link_loss;
+  { call_failure; link_loss }
+
+let channel_ok t rng =
+  t.call_failure = 0. || not (Rng.bernoulli rng t.call_failure)
+
+let delivery_ok t rng = t.link_loss = 0. || not (Rng.bernoulli rng t.link_loss)

@@ -1,0 +1,27 @@
+(** Communication-failure injection.
+
+    The paper claims the algorithm "efficiently handles limited
+    communication failures" — experiment E6 quantifies this. Two
+    independent failure modes are modelled:
+
+    - a {e call failure} drops the whole channel for the round (neither
+      direction can be used), as if the connection attempt timed out;
+    - {e link loss} drops each individual message transmission. *)
+
+type t = {
+  call_failure : float;  (** probability a channel fails to establish *)
+  link_loss : float;  (** probability a single transmission is lost *)
+}
+
+val none : t
+(** Fault-free communication. *)
+
+val make : ?call_failure:float -> ?link_loss:float -> unit -> t
+(** [make ()] builds a fault model; probabilities default to 0.
+    @raise Invalid_argument if a probability is outside [\[0, 1\]]. *)
+
+val channel_ok : t -> Rumor_rng.Rng.t -> bool
+(** Sample whether a channel establishes. *)
+
+val delivery_ok : t -> Rumor_rng.Rng.t -> bool
+(** Sample whether one transmission survives. *)

@@ -1,0 +1,171 @@
+module Rng = Rumor_rng.Rng
+
+type message = { source : int; created : int }
+
+type message_result = {
+  completion_round : int option;
+  informed : int;
+  transmissions : int;
+}
+
+type result = {
+  rounds : int;
+  channels : int;
+  population : int;
+  messages : message_result array;
+}
+
+let total_transmissions r =
+  Array.fold_left (fun acc m -> acc + m.transmissions) 0 r.messages
+
+let all_complete r =
+  r.population > 0
+  && Array.for_all (fun m -> m.informed = r.population) r.messages
+
+let run ?(fault = Fault.none) ~rng ~topology ~protocol ~messages () =
+  let open Topology in
+  let open Protocol in
+  let cap = topology.capacity in
+  if messages = [] then invalid_arg "Multi.run: no messages";
+  List.iter
+    (fun m ->
+      if m.source < 0 || m.source >= cap || not (topology.alive m.source) then
+        invalid_arg "Multi.run: bad source";
+      if m.created < 0 then invalid_arg "Multi.run: negative creation time")
+    messages;
+  let msgs = Array.of_list messages in
+  let k = Array.length msgs in
+  (* Per-message per-node state, informed flags and accounting. *)
+  let state = Array.init k (fun _ -> Array.init cap (fun _ -> protocol.init ~informed:false)) in
+  let informed = Array.make_matrix k cap false in
+  let tx = Array.make k 0 in
+  let completion = Array.make k None in
+  let selector = Selector.make protocol.selector ~capacity:cap in
+  let scratch = Array.make (max (Selector.fanout protocol.selector) 1) 0 in
+  (* Decision cache per (message, node, round). *)
+  let dec = Array.make_matrix k cap Protocol.silent in
+  let stamp = Array.make_matrix k cap (-1) in
+  let pending = Array.make_matrix k cap false in
+  let pending_ids = Array.make cap 0 in
+  let channels = ref 0 in
+  let horizon =
+    Array.fold_left (fun acc m -> max acc (m.created + protocol.horizon)) 0 msgs
+  in
+  let round = ref 0 in
+  let stop = ref false in
+  while (not !stop) && !round < horizon do
+    incr round;
+    let r = !round in
+    (* Inject rumors created at the end of the previous round. *)
+    Array.iteri
+      (fun j m ->
+        if m.created = r - 1 && not informed.(j).(m.source) then begin
+          informed.(j).(m.source) <- true;
+          state.(j).(m.source) <- protocol.init ~informed:true
+        end)
+      msgs;
+    let decision_of j v logical =
+      if stamp.(j).(v) <> r then begin
+        dec.(j).(v) <- protocol.decide state.(j).(v) ~round:logical;
+        stamp.(j).(v) <- r
+      end;
+      dec.(j).(v)
+    in
+    (* One shared channel set for the round. *)
+    for u = 0 to cap - 1 do
+      if topology.alive u then begin
+        let d = topology.degree u in
+        if d > 0 then begin
+          let kk = Selector.select selector ~rng ~node:u ~degree:d ~out:scratch in
+          for i = 0 to kk - 1 do
+            let w = topology.neighbor u scratch.(i) in
+            if topology.alive w && Fault.channel_ok fault rng then begin
+              incr channels;
+              for j = 0 to k - 1 do
+                let logical = r - msgs.(j).created in
+                if logical >= 1 then begin
+                  if informed.(j).(u) && (decision_of j u logical).push
+                     && Fault.delivery_ok fault rng
+                  then begin
+                    tx.(j) <- tx.(j) + 1;
+                    if informed.(j).(w) then
+                      state.(j).(u) <- protocol.feedback state.(j).(u) ~round:logical
+                    else pending.(j).(w) <- true
+                  end;
+                  if informed.(j).(w) && (decision_of j w logical).pull
+                     && Fault.delivery_ok fault rng
+                  then begin
+                    tx.(j) <- tx.(j) + 1;
+                    if informed.(j).(u) then
+                      state.(j).(w) <- protocol.feedback state.(j).(w) ~round:logical
+                    else pending.(j).(u) <- true
+                  end
+                end
+              done
+            end
+          done
+        end
+      end
+    done;
+    (* Apply receipts per message. *)
+    for j = 0 to k - 1 do
+      let logical = r - msgs.(j).created in
+      let count = ref 0 in
+      for v = 0 to cap - 1 do
+        if pending.(j).(v) then begin
+          pending.(j).(v) <- false;
+          pending_ids.(!count) <- v;
+          incr count
+        end
+      done;
+      for i = 0 to !count - 1 do
+        let v = pending_ids.(i) in
+        informed.(j).(v) <- true;
+        state.(j).(v) <- protocol.receive state.(j).(v) ~round:logical
+      done
+    done;
+    (* Census: completions and global quiescence. *)
+    let live = ref 0 in
+    for v = 0 to cap - 1 do
+      if topology.alive v then incr live
+    done;
+    let all_quiet = ref true in
+    for j = 0 to k - 1 do
+      let logical = r - msgs.(j).created in
+      let know = ref 0 in
+      for v = 0 to cap - 1 do
+        if topology.alive v && informed.(j).(v) then begin
+          incr know;
+          if logical >= 0
+             && not (protocol.quiescent state.(j).(v) ~round:(logical + 1))
+          then all_quiet := false
+        end
+      done;
+      if msgs.(j).created >= r then all_quiet := false;
+      if completion.(j) = None && !live > 0 && !know = !live then
+        completion.(j) <- Some r
+    done;
+    if !all_quiet then stop := true
+  done;
+  let live = ref 0 in
+  for v = 0 to cap - 1 do
+    if topology.alive v then incr live
+  done;
+  let messages =
+    Array.init k (fun j ->
+        let know = ref 0 in
+        for v = 0 to cap - 1 do
+          if topology.alive v && informed.(j).(v) then incr know
+        done;
+        {
+          completion_round = completion.(j);
+          informed = !know;
+          transmissions = tx.(j);
+        })
+  in
+  {
+    rounds = !round;
+    channels = !channels;
+    population = !live;
+    messages;
+  }

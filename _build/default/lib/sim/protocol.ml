@@ -1,0 +1,18 @@
+type decision = { push : bool; pull : bool }
+
+let silent = { push = false; pull = false }
+
+type 'st t = {
+  name : string;
+  selector : Selector.spec;
+  horizon : int;
+  init : informed:bool -> 'st;
+  decide : 'st -> round:int -> decision;
+  receive : 'st -> round:int -> 'st;
+  feedback : 'st -> round:int -> 'st;
+  quiescent : 'st -> round:int -> bool;
+}
+
+let no_feedback st ~round =
+  ignore round;
+  st

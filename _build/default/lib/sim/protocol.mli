@@ -1,0 +1,44 @@
+(** Protocol interface for the random phone call engine.
+
+    A protocol describes, per node and per round, whether to transmit
+    the rumor over the channels the node opened ([push]) and over the
+    channels opened towards it ([pull]) — exactly the [push(M)] /
+    [pull(M)] procedures of Section 3 of the paper. Decisions may
+    depend only on local state and the global round number, which makes
+    every protocol expressible here {e address-oblivious} by
+    construction; protocols whose state depends only on the receipt
+    time are additionally {e strictly oblivious} in the sense of the
+    lower bound (Section 2). *)
+
+type decision = { push : bool; pull : bool }
+(** What a node transmits this round. Only informed nodes are asked. *)
+
+val silent : decision
+(** Neither push nor pull. *)
+
+type 'st t = {
+  name : string;  (** for reports and tables *)
+  selector : Selector.spec;  (** how nodes choose whom to call *)
+  horizon : int;  (** hard cap on rounds (Monte-Carlo time bound) *)
+  init : informed:bool -> 'st;  (** per-node state before round 1 *)
+  decide : 'st -> round:int -> decision;
+      (** transmission decision of an {e informed} node *)
+  receive : 'st -> round:int -> 'st;
+      (** state update when the rumor is first received in [round];
+          visible to [decide] from round [round + 1] on *)
+  feedback : 'st -> round:int -> 'st;
+      (** state update on a {e transmitting} node each time one of its
+          copies reached a partner that already knew the rumor — the
+          "recipient says: I know" signal driving the rumor-mongering
+          variants of Demers et al. [7]. Most protocols ignore it
+          ({!val:no_feedback}). Applied at the end of the round, once
+          per redundant delivery; visible to [decide] from the next
+          round. *)
+  quiescent : 'st -> round:int -> bool;
+      (** [true] when an informed node will never transmit at any round
+          [>= round]; lets the engine stop early *)
+}
+(** A broadcast protocol with per-node state ['st]. *)
+
+val no_feedback : 'st -> round:int -> 'st
+(** The identity [feedback] for protocols that ignore the signal. *)

@@ -1,0 +1,42 @@
+(** Neighbour-selection strategies — how a node picks whom to call.
+
+    The paper's model and its relatives differ only in this component:
+
+    - {!constructor:Uniform} with [fanout = 1] is the standard random
+      phone call model of Karp et al. [25];
+    - {!constructor:Uniform} with [fanout = 4] is the paper's modified
+      model (four distinct neighbours per round);
+    - {!constructor:Avoid_recent} with [fanout = 1], [window = 3] is the
+      sequentialised variant of Elsässer–Sauerwald [13] that the paper
+      notes is equivalent to the 4-choice model over 4 steps;
+    - {!constructor:Quasirandom} is the list-based model of Doerr,
+      Friedrich and Sauerwald [9]. *)
+
+type spec =
+  | Uniform of { fanout : int }
+      (** Each round: [fanout] distinct neighbours, uniformly. *)
+  | Avoid_recent of { fanout : int; window : int }
+      (** Uniform among neighbours not contacted in the last [window]
+          rounds (falls back to uniform when degree is too small). *)
+  | Quasirandom of { fanout : int }
+      (** Cyclic walk through the adjacency list from a random start
+          position (chosen independently per node). *)
+
+val fanout : spec -> int
+(** Channels a node opens per round under this spec. *)
+
+val validate : spec -> unit
+(** @raise Invalid_argument if [fanout < 1] or [window < 0]. *)
+
+type t
+(** Runtime selection state (per-node memory for the stateful specs). *)
+
+val make : spec -> capacity:int -> t
+(** Allocate runtime state for nodes [0 .. capacity-1]. *)
+
+val select :
+  t -> rng:Rumor_rng.Rng.t -> node:int -> degree:int -> out:int array -> int
+(** [select t ~rng ~node ~degree ~out] writes the chosen neighbour
+    {e indices} (positions in the adjacency list, in [\[0, degree)])
+    into [out] and returns how many were chosen —
+    [min fanout degree]. *)

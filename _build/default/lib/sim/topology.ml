@@ -1,0 +1,23 @@
+module Graph = Rumor_graph.Graph
+
+type t = {
+  capacity : int;
+  degree : int -> int;
+  neighbor : int -> int -> int;
+  alive : int -> bool;
+}
+
+let of_graph g =
+  {
+    capacity = Graph.n g;
+    degree = Graph.degree g;
+    neighbor = Graph.neighbor g;
+    alive = (fun _ -> true);
+  }
+
+let alive_count t =
+  let count = ref 0 in
+  for v = 0 to t.capacity - 1 do
+    if t.alive v then incr count
+  done;
+  !count

@@ -1,0 +1,20 @@
+(** The simulator's view of a network.
+
+    A topology is a record of accessors rather than a concrete graph so
+    that the same engine drives static CSR graphs ({!of_graph}) and the
+    mutable peer-to-peer overlays of [Rumor_p2p] (which change between
+    rounds under churn). Node identifiers are [0 .. capacity-1]; dead
+    identifiers (departed peers) are skipped via [alive]. *)
+
+type t = {
+  capacity : int;  (** exclusive upper bound on node ids *)
+  degree : int -> int;  (** current degree of a node *)
+  neighbor : int -> int -> int;  (** [neighbor v i], [0 <= i < degree v] *)
+  alive : int -> bool;  (** whether the id denotes a present node *)
+}
+
+val of_graph : Rumor_graph.Graph.t -> t
+(** View a static graph as a topology (every node alive). *)
+
+val alive_count : t -> int
+(** Number of live nodes; O(capacity). *)

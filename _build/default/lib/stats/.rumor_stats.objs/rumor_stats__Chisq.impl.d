@@ -1,0 +1,1 @@
+lib/stats/chisq.ml: Array Special

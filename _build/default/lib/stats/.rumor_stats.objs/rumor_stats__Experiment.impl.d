@@ -1,0 +1,1 @@
+lib/stats/experiment.ml: Array Domain List Rumor_rng Summary

@@ -1,0 +1,1 @@
+lib/stats/experiment.mli: Rumor_rng Summary

@@ -1,0 +1,1 @@
+lib/stats/sparkline.ml: Array Buffer Float List Printf String

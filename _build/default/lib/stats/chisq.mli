@@ -1,0 +1,20 @@
+(** Chi-square goodness-of-fit tests — the principled version of the
+    "is this histogram uniform?" checks used on PRNG output and
+    random-walk endpoint distributions. *)
+
+type outcome = {
+  statistic : float;  (** the chi-square statistic *)
+  dof : int;  (** degrees of freedom, cells - 1 *)
+  p_value : float;  (** upper-tail probability *)
+  uniform_plausible : bool;  (** [p_value >= 0.01] *)
+}
+
+val goodness_of_fit : observed:int array -> expected:float array -> outcome
+(** Test observed counts against expected counts.
+    @raise Invalid_argument if lengths differ, fewer than 2 cells, or
+    an expected count is [<= 0]. *)
+
+val uniform : int array -> outcome
+(** [uniform counts] tests the histogram against the uniform
+    distribution over its cells.
+    @raise Invalid_argument on fewer than 2 cells or zero total. *)

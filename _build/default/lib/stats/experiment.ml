@@ -1,0 +1,46 @@
+module Rng = Rumor_rng.Rng
+
+let replicate ~seed ~reps f =
+  if reps < 1 then invalid_arg "Experiment.replicate: reps < 1";
+  let base = Rng.create seed in
+  List.init reps (fun i -> f (Rng.fork base i))
+
+let replicate_parallel ?(domains = 4) ~seed ~reps f =
+  if reps < 1 then invalid_arg "Experiment.replicate: reps < 1";
+  let domains = max 1 (min domains reps) in
+  if domains = 1 then replicate ~seed ~reps f
+  else begin
+    let base = Rng.create seed in
+    (* Fork all streams up front so repetition i sees exactly the same
+       randomness as in the sequential version. *)
+    let rngs = Array.init reps (fun i -> Rng.fork base i) in
+    let out = Array.make reps None in
+    let worker k () =
+      let i = ref k in
+      while !i < reps do
+        (* Indices are partitioned round-robin: each slot is written by
+           exactly one domain and read only after the join. *)
+        out.(!i) <- Some (f rngs.(!i));
+        i := !i + domains
+      done
+    in
+    let spawned = List.init domains (fun k -> Domain.spawn (worker k)) in
+    List.iter Domain.join spawned;
+    Array.to_list
+      (Array.map
+         (function Some x -> x | None -> assert false)
+         out)
+  end
+
+let summarize ~seed ~reps f = Summary.of_list (replicate ~seed ~reps f)
+
+let mean_of ~seed ~reps f = (summarize ~seed ~reps f).Summary.mean
+
+let success_rate ~seed ~reps f =
+  let hits =
+    List.fold_left
+      (fun acc ok -> if ok then acc + 1 else acc)
+      0
+      (replicate ~seed ~reps f)
+  in
+  float_of_int hits /. float_of_int reps

@@ -1,0 +1,30 @@
+(** Seeded repetition of randomized measurements.
+
+    Every experiment in the bench harness follows the same pattern:
+    run a measurement under [reps] independent random streams (forked
+    from a base seed, so any single repetition can be replayed) and
+    summarise each extracted metric. *)
+
+val replicate :
+  seed:int -> reps:int -> (Rumor_rng.Rng.t -> 'a) -> 'a list
+(** [replicate ~seed ~reps f] calls [f] once per repetition with an
+    independent stream forked from [seed].
+    @raise Invalid_argument if [reps < 1]. *)
+
+val replicate_parallel :
+  ?domains:int -> seed:int -> reps:int -> (Rumor_rng.Rng.t -> 'a) -> 'a list
+(** Same results as {!replicate} (bit-for-bit: repetition [i] always
+    gets stream [fork seed i]), computed on up to [domains] (default 4)
+    OCaml domains. [f] must not share mutable state across calls. *)
+
+val summarize :
+  seed:int -> reps:int -> (Rumor_rng.Rng.t -> float) -> Summary.t
+(** Replicate a scalar measurement and summarise it. *)
+
+val mean_of :
+  seed:int -> reps:int -> (Rumor_rng.Rng.t -> float) -> float
+(** Shorthand for [(summarize ...).mean]. *)
+
+val success_rate :
+  seed:int -> reps:int -> (Rumor_rng.Rng.t -> bool) -> float
+(** Fraction of repetitions returning [true]. *)

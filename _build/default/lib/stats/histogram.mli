@@ -1,0 +1,24 @@
+(** Fixed-width histograms, for traces and degree distributions. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** [create ~lo ~hi ~bins] covers [\[lo, hi)] with [bins] equal cells;
+    out-of-range observations land in the first/last cell.
+    @raise Invalid_argument if [bins < 1] or [hi <= lo]. *)
+
+val add : t -> float -> unit
+(** Record one observation. *)
+
+val count : t -> int
+(** Total observations recorded. *)
+
+val bin_count : t -> int -> int
+(** Observations in cell [i].
+    @raise Invalid_argument on a bad index. *)
+
+val bin_bounds : t -> int -> float * float
+(** The [\[lo, hi)] range of cell [i]. *)
+
+val pp : Format.formatter -> t -> unit
+(** ASCII rendering with proportional bars. *)

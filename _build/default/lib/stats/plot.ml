@@ -1,0 +1,63 @@
+type series = { name : string; marker : char; points : (float * float) list }
+
+let render ?(width = 60) ?(height = 16) ?(x_label = "x") ?(y_label = "y")
+    series_list =
+  if width < 8 then invalid_arg "Plot.render: width < 8";
+  if height < 4 then invalid_arg "Plot.render: height < 4";
+  let finite =
+    List.concat_map
+      (fun s ->
+        List.filter
+          (fun (x, y) -> Float.is_finite x && Float.is_finite y)
+          s.points)
+      series_list
+  in
+  let buf = Buffer.create (width * height * 2) in
+  (match finite with
+  | [] ->
+      Buffer.add_string buf "(empty plot)\n"
+  | (x0, y0) :: rest ->
+      let xmin = List.fold_left (fun a (x, _) -> Float.min a x) x0 rest in
+      let xmax = List.fold_left (fun a (x, _) -> Float.max a x) x0 rest in
+      let ymin = List.fold_left (fun a (_, y) -> Float.min a y) y0 rest in
+      let ymax = List.fold_left (fun a (_, y) -> Float.max a y) y0 rest in
+      let xspan = if xmax = xmin then 1. else xmax -. xmin in
+      let yspan = if ymax = ymin then 1. else ymax -. ymin in
+      let grid = Array.make_matrix height width ' ' in
+      List.iter
+        (fun s ->
+          List.iter
+            (fun (x, y) ->
+              if Float.is_finite x && Float.is_finite y then begin
+                let col =
+                  int_of_float ((x -. xmin) /. xspan *. float_of_int (width - 1))
+                in
+                let row =
+                  (height - 1)
+                  - int_of_float
+                      ((y -. ymin) /. yspan *. float_of_int (height - 1))
+                in
+                let col = max 0 (min (width - 1) col) in
+                let row = max 0 (min (height - 1) row) in
+                grid.(row).(col) <- s.marker
+              end)
+            s.points)
+        series_list;
+      Buffer.add_string buf
+        (Printf.sprintf "%s (%.3g .. %.3g) vs %s (%.3g .. %.3g)\n" y_label ymin
+           ymax x_label xmin xmax);
+      let legend =
+        String.concat "  "
+          (List.map (fun s -> Printf.sprintf "%c=%s" s.marker s.name) series_list)
+      in
+      if legend <> "" then Buffer.add_string buf (legend ^ "\n");
+      Array.iter
+        (fun row ->
+          Buffer.add_char buf '|';
+          Array.iter (Buffer.add_char buf) row;
+          Buffer.add_string buf "|\n")
+        grid;
+      Buffer.add_char buf '+';
+      Buffer.add_string buf (String.make width '-');
+      Buffer.add_string buf "+\n");
+  Buffer.contents buf

@@ -1,0 +1,18 @@
+(** Multi-series ASCII scatter plots — the harness's "figures".
+
+    Each series gets a marker character; points are binned onto a
+    character grid with linear axes and the ranges printed on the
+    frame. Intended for quick visual inspection of scaling
+    relationships in terminal output (the numeric tables remain the
+    primary record). *)
+
+type series = { name : string; marker : char; points : (float * float) list }
+
+val render :
+  ?width:int -> ?height:int -> ?x_label:string -> ?y_label:string ->
+  series list -> string
+(** [render series] draws all series on one grid (default 60x16).
+    Series listed later overwrite earlier markers on collision. Points
+    with non-finite coordinates are skipped; an empty plot renders an
+    empty frame.
+    @raise Invalid_argument if [width] or [height] is below 8/4. *)

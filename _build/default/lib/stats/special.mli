@@ -1,0 +1,26 @@
+(** Special functions backing the statistical tests. All are classical
+    numerical approximations accurate to at least 1e-7 over the ranges
+    the library uses. *)
+
+val erf : float -> float
+(** Error function (Abramowitz–Stegun 7.1.26). *)
+
+val normal_cdf : float -> float
+(** Standard normal CDF. *)
+
+val log_gamma : float -> float
+(** [log (Gamma x)] for [x > 0] (Lanczos), with the reflection formula
+    for [x < 0.5]. *)
+
+val incomplete_beta : float -> float -> float -> float
+(** [incomplete_beta a b x] is the regularised incomplete beta
+    [I_x(a, b)], computed with Lentz's continued fraction. *)
+
+val regularized_gamma_p : float -> float -> float
+(** [regularized_gamma_p a x] is [P(a, x) = gamma(a, x)/Gamma(a)]
+    (series for [x < a+1], continued fraction otherwise).
+    @raise Invalid_argument if [a <= 0] or [x < 0]. *)
+
+val regularized_gamma_q : float -> float -> float
+(** [Q(a, x) = 1 - P(a, x)] — the upper tail, e.g. the chi-square
+    survival function with [a = dof/2], [x = stat/2]. *)

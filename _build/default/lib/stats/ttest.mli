@@ -1,0 +1,19 @@
+(** Welch's two-sample t-test, for deciding whether two protocols'
+    measurements genuinely differ across seeded repetitions. *)
+
+type outcome = {
+  t_stat : float;  (** Welch's t statistic *)
+  dof : float;  (** Welch–Satterthwaite degrees of freedom *)
+  p_value : float;  (** two-sided, via the normal approximation for
+                        [dof >= 30] and a t-CDF series otherwise *)
+  significant : bool;  (** [p_value < 0.05] *)
+}
+
+val welch : Summary.t -> Summary.t -> outcome
+(** [welch a b] tests mean equality of the two summarised samples.
+    @raise Invalid_argument if either sample has fewer than 2 points or
+    both variances are 0. *)
+
+val normal_cdf : float -> float
+(** Standard normal CDF (Abramowitz–Stegun 7.1.26 via erf, absolute
+    error below 1.5e-7) — exposed for tests and other approximations. *)

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Filename List Printf Rumor_cli Rumor_core Rumor_gen Rumor_rng Rumor_sim Sys

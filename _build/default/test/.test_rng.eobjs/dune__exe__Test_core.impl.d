@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest List Printf QCheck QCheck_alcotest Rumor_core Rumor_gen Rumor_graph Rumor_rng Rumor_sim

@@ -1,0 +1,1 @@
+test/test_distshape.ml: Alcotest Array Hashtbl Printf Rumor_rng Rumor_stats

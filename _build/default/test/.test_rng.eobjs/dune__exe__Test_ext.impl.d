@@ -1,0 +1,1 @@
+test/test_ext.ml: Alcotest Array List Printf QCheck QCheck_alcotest Rumor_core Rumor_gen Rumor_graph Rumor_p2p Rumor_rng Rumor_sim Rumor_stats

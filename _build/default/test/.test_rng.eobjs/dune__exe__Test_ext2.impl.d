@@ -1,0 +1,1 @@
+test/test_ext2.ml: Alcotest Array Char Filename Fun Gen List Printf QCheck QCheck_alcotest Rumor_core Rumor_gen Rumor_graph Rumor_p2p Rumor_rng Rumor_sim Rumor_stats String Sys

@@ -1,0 +1,1 @@
+test/test_ext3.ml: Alcotest Array Float Gen List Printf QCheck QCheck_alcotest Rumor_core Rumor_gen Rumor_graph Rumor_p2p Rumor_rng Rumor_sim Rumor_stats String

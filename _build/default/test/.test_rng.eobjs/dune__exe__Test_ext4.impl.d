@@ -1,0 +1,1 @@
+test/test_ext4.ml: Alcotest Format List Printf Rumor_cli Rumor_core Rumor_gen Rumor_graph Rumor_rng Rumor_sim Rumor_stats String

@@ -1,0 +1,1 @@
+test/test_gen.ml: Alcotest Array Gen List Printf QCheck QCheck_alcotest Rumor_gen Rumor_graph Rumor_rng

@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Rumor_core Rumor_gen Rumor_graph Rumor_rng Rumor_sim

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Rumor_gen Rumor_graph Rumor_rng String

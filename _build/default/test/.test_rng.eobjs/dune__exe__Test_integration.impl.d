@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest List Printf Rumor_core Rumor_gen Rumor_graph Rumor_rng Rumor_sim Rumor_stats

@@ -1,0 +1,1 @@
+test/test_property.ml: Alcotest Array Hashtbl List Printf QCheck QCheck_alcotest Rumor_core Rumor_gen Rumor_graph Rumor_p2p Rumor_rng Rumor_sim String

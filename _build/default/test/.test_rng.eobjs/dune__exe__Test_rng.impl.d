@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Gen Int List Printf QCheck QCheck_alcotest Rumor_rng Set

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Format List QCheck QCheck_alcotest Rumor_gen Rumor_graph Rumor_rng Rumor_sim String

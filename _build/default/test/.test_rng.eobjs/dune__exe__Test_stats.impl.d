@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Format Gen List QCheck QCheck_alcotest Rumor_rng Rumor_stats String

@@ -1,0 +1,71 @@
+(* Golden regression tests: exact outputs for fixed seeds.
+
+   Everything in this library is a pure function of its integer seeds,
+   so these values must never change unless an algorithm is modified on
+   purpose. They protect refactorings: an accidental change to the PRNG
+   stream, the configuration model's pairing order, the selector, or
+   the engine's delivery order shows up here immediately, even when the
+   statistical tests still pass. Update the constants (only) alongside
+   an intentional behavioural change. *)
+
+module Rng = Rumor_rng.Rng
+module Graph = Rumor_graph.Graph
+module Regular = Rumor_gen.Regular
+module Classic = Rumor_gen.Classic
+module Engine = Rumor_sim.Engine
+module Params = Rumor_core.Params
+module Algorithm = Rumor_core.Algorithm
+module Baselines = Rumor_core.Baselines
+module Run = Rumor_core.Run
+
+let test_rng_stream () =
+  let r = Rng.create 12345 in
+  Alcotest.(check int64) "word 1" (-4725905248023948133L) (Rng.bits64 r);
+  Alcotest.(check int64) "word 2" 2398916695208396998L (Rng.bits64 r);
+  Alcotest.(check int64) "word 3" (-676359223724682360L) (Rng.bits64 r)
+
+let test_bounded_ints () =
+  let r = Rng.create 777 in
+  Alcotest.(check int) "draw 1" 74 (Rng.int r 1000);
+  Alcotest.(check int) "draw 2" 814 (Rng.int r 1000);
+  Alcotest.(check int) "draw 3" 346 (Rng.int r 1000)
+
+let test_configuration_model () =
+  let rng = Rng.create 2024 in
+  let g = Regular.sample ~rng ~n:100 ~d:6 Regular.Pairing in
+  Alcotest.(check int) "edges" 300 (Graph.m g);
+  Alcotest.(check int) "self loops" 5 (Graph.count_self_loops g);
+  Alcotest.(check int) "parallel copies" 8 (Graph.count_parallel_edges g);
+  Alcotest.(check int) "first neighbour of 0" 47 (Graph.neighbor g 0 0)
+
+let test_algorithm_broadcast () =
+  let rng = Rng.create 31337 in
+  let g = Regular.sample_connected ~rng ~n:1024 ~d:8 Regular.Pairing in
+  let p = Algorithm.make (Params.make ~n_estimate:1024 ~d:8 ()) in
+  let res = Run.once ~rng ~graph:g ~protocol:p ~source:0 () in
+  Alcotest.(check int) "rounds" 15 res.Engine.rounds;
+  Alcotest.(check int) "transmissions" 24536 (Engine.transmissions res);
+  Alcotest.(check (option int)) "completion" (Some 11) res.Engine.completion_round
+
+let test_push_broadcast () =
+  let rng = Rng.create 555 in
+  let res =
+    Run.once ~stop_when_complete:true ~rng ~graph:(Classic.complete 128)
+      ~protocol:(Baselines.push ~horizon:100 ())
+      ~source:0 ()
+  in
+  Alcotest.(check int) "rounds" 12 res.Engine.rounds;
+  Alcotest.(check int) "transmissions" 624 (Engine.transmissions res)
+
+let () =
+  Alcotest.run "golden"
+    [
+      ( "golden",
+        [
+          Alcotest.test_case "rng stream" `Quick test_rng_stream;
+          Alcotest.test_case "bounded ints" `Quick test_bounded_ints;
+          Alcotest.test_case "configuration model" `Quick test_configuration_model;
+          Alcotest.test_case "algorithm broadcast" `Quick test_algorithm_broadcast;
+          Alcotest.test_case "push broadcast" `Quick test_push_broadcast;
+        ] );
+    ]
