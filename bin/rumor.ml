@@ -122,7 +122,9 @@ let broadcast seed n d topology protocol alpha fanout loss trace graph_in =
     | None -> Rumor_cli.Scenario.make_graph ~rng ~topology ~n ~d
   in
   let n_real = Graph.n g in
-  let p = Rumor_cli.Scenario.make_protocol ~protocol ~n:n_real ~d ~alpha ~fanout in
+  let p =
+    Rumor_cli.Scenario.make_protocol ~protocol ~n:n_real ~d ~alpha ~fanout ()
+  in
   let fault = Fault.make ~link_loss:loss () in
   let res =
     Run.once ~fault ~collect_trace:trace ~rng ~graph:g ~protocol:p
@@ -183,7 +185,9 @@ let sweep seed sizes d protocol alpha fanout reps =
       let results =
         Experiment.replicate ~seed:(seed + i) ~reps (fun rng ->
             let g = Regular.sample_connected ~rng ~n ~d Regular.Pairing in
-            let p = Rumor_cli.Scenario.make_protocol ~protocol ~n ~d ~alpha ~fanout in
+            let p =
+              Rumor_cli.Scenario.make_protocol ~protocol ~n ~d ~alpha ~fanout ()
+            in
             Run.once
               ~stop_when_complete:(protocol <> "bef" && protocol <> "bef-seq")
               ~rng ~graph:g ~protocol:p ~source:(Run.random_source rng g) ())
@@ -283,6 +287,229 @@ let estimate_cmd =
   in
   Cmd.v info Term.(const estimate $ seed_arg $ n_arg $ d_arg $ k_arg)
 
+(* --- robustness --- *)
+
+let robust_n_arg =
+  Arg.(
+    value & opt int 4096
+    & info [ "n" ] ~docv:"N"
+        ~doc:"Number of nodes (the E7 bench covers the full 16384 setting).")
+
+let robust_alpha_arg =
+  Arg.(
+    value & opt float 2.0
+    & info [ "alpha" ] ~docv:"A"
+        ~doc:"Phase-length constant (2.0 adds slack against faults).")
+
+let burst_len_arg =
+  Arg.(
+    value & opt float 4.0
+    & info [ "burst-len" ] ~docv:"L"
+        ~doc:"Mean length (rounds) of a Gilbert-Elliott loss burst.")
+
+let use_estimator_arg =
+  Arg.(
+    value & flag
+    & info [ "use-estimator" ]
+        ~doc:
+          "Source the size estimate from min-of-exponentials gossip at the \
+           broadcast source instead of sweeping fixed n-error factors.")
+
+let robustness seed n d alpha reps burst_len use_estimator =
+  if burst_len < 1. then begin
+    prerr_endline "rumor: --burst-len must be >= 1";
+    exit 2
+  end;
+  let losses = [ 0.; 0.05; 0.1; 0.2 ] in
+  let errors =
+    if use_estimator then [ 1.0 ] else [ 0.125; 0.25; 1.0; 4.0; 8.0 ]
+  in
+  let summar f results = Summary.of_list (List.map f results) in
+  let pct_success results =
+    100
+    * List.length (List.filter (fun (r, _) -> Engine.success r) results)
+    / List.length results
+  in
+  Printf.printf
+    "robustness sweep: n=%d d=%d alpha=%.1f reps=%d burst_len=%.1f%s\n" n d
+    alpha reps burst_len
+    (if use_estimator then " (gossip size estimate)" else "");
+  let t =
+    Table.create
+      ~columns:
+        [
+          ("burst loss", Table.Right);
+          ("est/n", Table.Right);
+          ("success", Table.Right);
+          ("coverage", Table.Right);
+          ("tx/node", Table.Right);
+          ("rounds", Table.Right);
+        ]
+  in
+  List.iteri
+    (fun i loss ->
+      List.iteri
+        (fun j factor ->
+          let results =
+            Experiment.replicate_parallel ~domains:4
+              ~seed:(seed + (10 * i) + j)
+              ~reps
+              (fun rng ->
+                let g = Regular.sample_connected ~rng ~n ~d Regular.Pairing in
+                let source = Run.random_source rng g in
+                let est =
+                  if use_estimator then begin
+                    let overlay = Overlay.of_graph ~capacity:n g in
+                    let e = Rumor_p2p.Estimator.create ~rng ~overlay ~k:64 in
+                    ignore (Rumor_p2p.Estimator.run ~rng e);
+                    Rumor_p2p.Estimator.estimate e ~node:source
+                  end
+                  else factor *. float_of_int n
+                in
+                let fault =
+                  if loss > 0. then
+                    Fault.plan ~burst:(Fault.burst ~loss ~burst_len) ()
+                  else Fault.none
+                in
+                let params =
+                  Params.make ~alpha
+                    ~n_estimate:(max 4 (int_of_float (ceil est)))
+                    ~d ()
+                in
+                let res =
+                  Run.once ~fault ~rng ~graph:g
+                    ~protocol:(Algorithm.make params) ~source ()
+                in
+                (res, est /. float_of_int n))
+          in
+          let coverage =
+            summar
+              (fun (r, _) ->
+                float_of_int r.Engine.informed /. float_of_int r.Engine.population)
+              results
+          in
+          let tx =
+            summar
+              (fun (r, _) ->
+                float_of_int (Engine.transmissions r) /. float_of_int n)
+              results
+          in
+          let rounds =
+            summar (fun (r, _) -> float_of_int r.Engine.rounds) results
+          in
+          let est_factor = summar (fun (_, f) -> f) results in
+          Table.add_row t
+            [
+              Printf.sprintf "%.2f" loss;
+              Printf.sprintf "%.2f" est_factor.Summary.mean;
+              Printf.sprintf "%d%%" (pct_success results);
+              Printf.sprintf "%.4f" coverage.Summary.mean;
+              Printf.sprintf "%.1f" tx.Summary.mean;
+              Printf.sprintf "%.1f" rounds.Summary.mean;
+            ])
+        errors)
+    losses;
+  Table.print t;
+  (* Node-crash schedules, random and adversarial. *)
+  print_endline "\nnode crashes (10% bursty loss kept on):";
+  let t2 =
+    Table.create
+      ~columns:
+        [
+          ("schedule", Table.Left);
+          ("success", Table.Right);
+          ("coverage", Table.Right);
+          ("final pop", Table.Right);
+          ("tx/node", Table.Right);
+        ]
+  in
+  let schedules =
+    [
+      ( "crash-stop 0.2%/round",
+        Fault.plan ~crash_rate:0.002 () );
+      ( "crash-recovery 1%/round, recover 20%",
+        Fault.plan ~crash_rate:0.01 ~recover_rate:0.2 () );
+      ( Printf.sprintf "strike: random %d @ round 3" (n / 8),
+        Fault.plan
+          ~strike:(Fault.strike ~adversary:Fault.Random_nodes ~at_round:3
+                     ~count:(n / 8) ())
+          () );
+      ( Printf.sprintf "strike: highest-degree %d @ round 3" (n / 8),
+        Fault.plan
+          ~strike:(Fault.strike ~adversary:Fault.Highest_degree ~at_round:3
+                     ~count:(n / 8) ())
+          () );
+      ( Printf.sprintf "strike: frontier %d @ round 3" (n / 16),
+        Fault.plan
+          ~strike:(Fault.strike ~adversary:Fault.Frontier ~at_round:3
+                     ~count:(n / 16) ())
+          () );
+    ]
+  in
+  let burst = Fault.burst ~loss:0.1 ~burst_len in
+  List.iteri
+    (fun i (label, plan) ->
+      let fault = { plan with Fault.burst = Some burst } in
+      let results =
+        Experiment.replicate_parallel ~domains:4 ~seed:(seed + 100 + i) ~reps
+          (fun rng ->
+            let g = Regular.sample_connected ~rng ~n ~d Regular.Pairing in
+            let params = Params.make ~alpha ~n_estimate:n ~d () in
+            Run.once ~fault ~rng ~graph:g ~protocol:(Algorithm.make params)
+              ~source:(Run.random_source rng g) ())
+      in
+      let ok =
+        100
+        * List.length (List.filter Engine.success results)
+        / List.length results
+      in
+      let coverage =
+        Summary.of_list
+          (List.map
+             (fun r ->
+               if r.Engine.population = 0 then 0.
+               else
+                 float_of_int r.Engine.informed
+                 /. float_of_int r.Engine.population)
+             results)
+      in
+      let pop =
+        Summary.of_list
+          (List.map (fun r -> float_of_int r.Engine.population) results)
+      in
+      let tx =
+        Summary.of_list
+          (List.map
+             (fun r -> float_of_int (Engine.transmissions r) /. float_of_int n)
+             results)
+      in
+      Table.add_row t2
+        [
+          label;
+          Printf.sprintf "%d%%" ok;
+          Printf.sprintf "%.4f" coverage.Summary.mean;
+          Printf.sprintf "%.0f" pop.Summary.mean;
+          Printf.sprintf "%.1f" tx.Summary.mean;
+        ])
+    schedules;
+  Table.print t2;
+  print_endline
+    "(coverage is over surviving nodes; a frontier strike that lands before\n\
+    \ phase 2 can kill every copy of the rumor - no protocol survives that)";
+  0
+
+let robustness_cmd =
+  let info =
+    Cmd.info "robustness"
+      ~doc:
+        "Sweep fault intensity (bursty loss) x size-estimate error, then \
+         node-crash schedules, and print success-rate tables."
+  in
+  Cmd.v info
+    Term.(
+      const robustness $ seed_arg $ robust_n_arg $ d_arg $ robust_alpha_arg
+      $ reps_arg $ burst_len_arg $ use_estimator_arg)
+
 (* --- run (scenario files) --- *)
 
 let scenario_file_arg =
@@ -317,4 +544,12 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ generate_cmd; broadcast_cmd; sweep_cmd; churn_cmd; estimate_cmd; run_cmd ]))
+          [
+            generate_cmd;
+            broadcast_cmd;
+            sweep_cmd;
+            churn_cmd;
+            estimate_cmd;
+            run_cmd;
+            robustness_cmd;
+          ]))

@@ -19,6 +19,14 @@ type t = {
   fanout : int;
   loss : float;
   call_failure : float;
+  burst_loss : float;
+  burst_len : float;
+  crash_rate : float;
+  recover_rate : float;
+  crash_adversary : string;
+  crash_count : int;
+  crash_round : int;
+  n_error : float;
   reps : int;
 }
 
@@ -33,11 +41,20 @@ let default =
     fanout = 4;
     loss = 0.;
     call_failure = 0.;
+    burst_loss = 0.;
+    burst_len = 4.;
+    crash_rate = 0.;
+    recover_rate = 0.;
+    crash_adversary = "none";
+    crash_count = 0;
+    crash_round = 1;
+    n_error = 1.;
     reps = 5;
   }
 
 let topologies = [ "regular"; "hypercube"; "torus"; "complete"; "gnp"; "product-k5" ]
 let protocols = [ "bef"; "bef-seq"; "push"; "pull"; "push-pull"; "quasirandom" ]
+let adversaries = [ "none"; "random"; "degree"; "frontier" ]
 
 let parse text =
   let err line msg = Error (Printf.sprintf "line %d: %s" line msg) in
@@ -57,19 +74,33 @@ let parse text =
     | None -> err line "expected a number"
   in
   let lines = String.split_on_char '\n' text in
-  let rec go acc i = function
-    | [] -> Ok acc
+  let rec go acc seen i = function
+    | [] ->
+        if acc.burst_loss > acc.burst_len /. (acc.burst_len +. 1.) then
+          Error
+            (Printf.sprintf
+               "burst_loss %.2f is unrealisable with burst_len %.1f (max %.2f)"
+               acc.burst_loss acc.burst_len
+               (acc.burst_len /. (acc.burst_len +. 1.)))
+        else Ok acc
     | raw :: rest -> begin
         let line = i + 1 in
         let s = String.trim (strip_comment raw) in
-        if s = "" then go acc (i + 1) rest
+        if s = "" then go acc seen (i + 1) rest
         else
           match String.index_opt s '=' with
           | None -> err line "expected 'key = value'"
           | Some eq -> begin
               let key = String.trim (String.sub s 0 eq) in
               let value = String.trim (String.sub s (eq + 1) (String.length s - eq - 1)) in
-              let continue acc = go acc (i + 1) rest in
+              match List.assoc_opt key seen with
+              | Some first ->
+                  err line
+                    (Printf.sprintf "duplicate key '%s' (already set on line %d)"
+                       key first)
+              | None -> begin
+              let seen = (key, line) :: seen in
+              let continue acc = go acc seen (i + 1) rest in
               match key with
               | "seed" -> parse_int line value (fun x -> continue { acc with seed = x })
               | "n" ->
@@ -102,15 +133,51 @@ let parse text =
                   parse_float line value (fun x ->
                       if x < 0. || x > 1. then err line "call_failure must be in [0, 1]"
                       else continue { acc with call_failure = x })
+              | "burst_loss" ->
+                  parse_float line value (fun x ->
+                      if x < 0. || x >= 1. then
+                        err line "burst_loss must be in [0, 1)"
+                      else continue { acc with burst_loss = x })
+              | "burst_len" ->
+                  parse_float line value (fun x ->
+                      if x < 1. then err line "burst_len must be >= 1"
+                      else continue { acc with burst_len = x })
+              | "crash_rate" ->
+                  parse_float line value (fun x ->
+                      if x < 0. || x > 1. then
+                        err line "crash_rate must be in [0, 1]"
+                      else continue { acc with crash_rate = x })
+              | "recover_rate" ->
+                  parse_float line value (fun x ->
+                      if x < 0. || x > 1. then
+                        err line "recover_rate must be in [0, 1]"
+                      else continue { acc with recover_rate = x })
+              | "crash_adversary" ->
+                  if List.mem value adversaries then
+                    continue { acc with crash_adversary = value }
+                  else err line ("unknown crash_adversary: " ^ value)
+              | "crash_count" ->
+                  parse_int line value (fun x ->
+                      if x < 0 then err line "crash_count must be >= 0"
+                      else continue { acc with crash_count = x })
+              | "crash_round" ->
+                  parse_int line value (fun x ->
+                      if x < 1 then err line "crash_round must be >= 1"
+                      else continue { acc with crash_round = x })
+              | "n_error" ->
+                  parse_float line value (fun x ->
+                      if x <= 0. then err line "n_error must be positive"
+                      else continue { acc with n_error = x })
               | "reps" ->
                   parse_int line value (fun x ->
                       if x < 1 then err line "reps must be >= 1"
                       else continue { acc with reps = x })
               | other -> err line ("unknown key: " ^ other)
+              end
             end
       end
   in
-  go default 0 lines
+  go default [] 0 lines
 
 let parse_file path =
   match open_in path with
@@ -141,8 +208,9 @@ let make_graph ~rng ~topology ~n ~d =
       Rumor_gen.Product.with_clique base ~k:5
   | other -> failwith (Printf.sprintf "unknown topology %S" other)
 
-let make_protocol ~protocol ~n ~d ~alpha ~fanout =
-  let params = Params.make ~alpha ~fanout ~n_estimate:n ~d () in
+let make_protocol ?n_estimate ~protocol ~n ~d ~alpha ~fanout () =
+  let est = match n_estimate with Some e -> max 4 e | None -> n in
+  let params = Params.make ~alpha ~fanout ~n_estimate:est ~d () in
   let horizon = 20 * Params.ceil_log2 (max n 2) in
   match protocol with
   | "bef" -> Algorithm.make params
@@ -152,6 +220,27 @@ let make_protocol ~protocol ~n ~d ~alpha ~fanout =
   | "push-pull" -> Baselines.push_pull ~fanout:1 ~horizon ()
   | "quasirandom" -> Baselines.quasirandom ~fanout:1 ~horizon
   | other -> failwith (Printf.sprintf "unknown protocol %S" other)
+
+let fault_plan t =
+  let burst =
+    if t.burst_loss > 0. then
+      Some (Fault.burst ~loss:t.burst_loss ~burst_len:t.burst_len)
+    else None
+  in
+  let strike =
+    if t.crash_adversary <> "none" && t.crash_count > 0 then
+      let adversary =
+        match t.crash_adversary with
+        | "random" -> Fault.Random_nodes
+        | "degree" -> Fault.Highest_degree
+        | "frontier" -> Fault.Frontier
+        | other -> failwith (Printf.sprintf "unknown crash_adversary %S" other)
+      in
+      Some (Fault.strike ~adversary ~at_round:t.crash_round ~count:t.crash_count ())
+    else None
+  in
+  Fault.plan ~call_failure:t.call_failure ~link_loss:t.loss ?burst
+    ~crash_rate:t.crash_rate ~recover_rate:t.recover_rate ?strike ()
 
 type report = {
   scenario : t;
@@ -163,9 +252,7 @@ type report = {
 }
 
 let run scenario =
-  let fault =
-    Fault.make ~link_loss:scenario.loss ~call_failure:scenario.call_failure ()
-  in
+  let fault = fault_plan scenario in
   let stop = scenario.protocol <> "bef" && scenario.protocol <> "bef-seq" in
   let protocol_name = ref "" in
   let results =
@@ -174,9 +261,13 @@ let run scenario =
           make_graph ~rng ~topology:scenario.topology ~n:scenario.n
             ~d:scenario.d
         in
+        let n_real = Graph.n g in
+        let n_estimate =
+          int_of_float (ceil (scenario.n_error *. float_of_int n_real))
+        in
         let p =
-          make_protocol ~protocol:scenario.protocol ~n:(Graph.n g)
-            ~d:scenario.d ~alpha:scenario.alpha ~fanout:scenario.fanout
+          make_protocol ~n_estimate ~protocol:scenario.protocol ~n:n_real
+            ~d:scenario.d ~alpha:scenario.alpha ~fanout:scenario.fanout ()
         in
         protocol_name := p.Rumor_sim.Protocol.name;
         Run_.once ~fault ~stop_when_complete:stop ~rng ~graph:g ~protocol:p
@@ -199,9 +290,22 @@ let run scenario =
   }
 
 let pp_report ppf r =
+  let s = r.scenario in
+  let faults = Buffer.create 64 in
+  Buffer.add_string faults
+    (Printf.sprintf "loss %.2f, call failure %.2f" s.loss s.call_failure);
+  if s.burst_loss > 0. then
+    Buffer.add_string faults
+      (Printf.sprintf ", burst %.2f (len %.1f)" s.burst_loss s.burst_len);
+  if s.crash_rate > 0. || s.recover_rate > 0. then
+    Buffer.add_string faults
+      (Printf.sprintf ", crash %.3f/recover %.3f" s.crash_rate s.recover_rate);
+  if s.crash_adversary <> "none" && s.crash_count > 0 then
+    Buffer.add_string faults
+      (Printf.sprintf ", strike %s x%d @ round %d" s.crash_adversary
+         s.crash_count s.crash_round);
   Format.fprintf ppf
-    "@[<v>protocol    %s@,topology    %s (n=%d, d=%d)@,faults      loss %.2f, call failure %.2f@,reps        %d (seed %d)@,success     %.0f%%@,coverage    %a@,tx/node     %a@,rounds      %a@]"
-    r.protocol_name r.scenario.topology r.scenario.n r.scenario.d
-    r.scenario.loss r.scenario.call_failure r.scenario.reps r.scenario.seed
-    (100. *. r.success_rate) Summary.pp r.coverage Summary.pp r.tx_per_node
-    Summary.pp r.rounds
+    "@[<v>protocol    %s@,topology    %s (n=%d, d=%d)@,faults      %s@,n estimate  %.2f x n@,reps        %d (seed %d)@,success     %.0f%%@,coverage    %a@,tx/node     %a@,rounds      %a@]"
+    r.protocol_name s.topology s.n s.d (Buffer.contents faults) s.n_error
+    s.reps s.seed (100. *. r.success_rate) Summary.pp r.coverage Summary.pp
+    r.tx_per_node Summary.pp r.rounds

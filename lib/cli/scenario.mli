@@ -16,10 +16,19 @@
     reps     = 5
     v}
 
-    Unknown keys, malformed values and out-of-range parameters are
-    rejected with a line-numbered message. The CLI's [run] subcommand
-    executes scenario files; the module is also the shared home of the
-    topology/protocol factories used across the binaries. *)
+    Fault-injection keys build a full {!Rumor_sim.Fault.t} plan:
+    [burst_loss] / [burst_len] (Gilbert–Elliott bursty loss),
+    [crash_rate] / [recover_rate] (crash-stop / crash-recovery),
+    [crash_adversary] (none|random|degree|frontier) with [crash_count]
+    and [crash_round] (one-shot adversarial kill), and [n_error] (the
+    protocol is built with [n_estimate = n_error * n], testing the
+    constant-factor-estimate claim).
+
+    Unknown keys, duplicate keys, malformed values and out-of-range
+    parameters are rejected with a line-numbered message. The CLI's
+    [run] subcommand executes scenario files; the module is also the
+    shared home of the topology/protocol factories used across the
+    binaries. *)
 
 type t = {
   seed : int;
@@ -31,15 +40,23 @@ type t = {
   fanout : int;
   loss : float;
   call_failure : float;
+  burst_loss : float;  (** stationary bursty-loss rate; 0 disables *)
+  burst_len : float;  (** mean burst length in rounds *)
+  crash_rate : float;  (** per-node per-round crash probability *)
+  recover_rate : float;  (** per-crashed-node per-round recovery probability *)
+  crash_adversary : string;  (** none|random|degree|frontier *)
+  crash_count : int;  (** nodes killed by the one-shot strike *)
+  crash_round : int;  (** round at which the strike lands *)
+  n_error : float;  (** n_estimate = n_error * n *)
   reps : int;
 }
 
 val default : t
 (** [seed 1, n 16384, d 8, regular, bef, alpha 1.0, fanout 4, no
-    faults, 5 reps]. *)
+    faults, exact size estimate, 5 reps]. *)
 
 val parse : string -> (t, string) result
-(** Parse scenario text over {!default}. *)
+(** Parse scenario text over {!default}. Duplicate keys are an error. *)
 
 val parse_file : string -> (t, string) result
 (** Read and {!parse} a file; IO failures map to [Error]. *)
@@ -51,10 +68,16 @@ val make_graph :
     @raise Failure on an unknown topology name. *)
 
 val make_protocol :
-  protocol:string -> n:int -> d:int -> alpha:float -> fanout:int ->
+  ?n_estimate:int ->
+  protocol:string -> n:int -> d:int -> alpha:float -> fanout:int -> unit ->
   Rumor_core.Algorithm.state Rumor_sim.Protocol.t
-(** Protocol factory (shared with the CLI).
+(** Protocol factory (shared with the CLI). [n_estimate] (default [n],
+    clamped to >= 4) is the network-size estimate handed to the
+    protocol's schedule; [n] remains the true size used for horizons.
     @raise Failure on an unknown protocol name. *)
+
+val fault_plan : t -> Rumor_sim.Fault.t
+(** Assemble the scenario's fault keys into an engine fault plan. *)
 
 type report = {
   scenario : t;

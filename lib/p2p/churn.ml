@@ -14,8 +14,11 @@ let join t ~rng ~d =
       | Some (u, w) -> if u = fresh || w = fresh then draw (budget - 1) else (u, w)
     in
     let u, w = draw 10_000 in
-    let removed = Overlay.remove_edge t u w in
-    assert removed;
+    (* Load-bearing side effect: if the removal ever fails the edge
+       split would corrupt the overlay's degree invariant, and `assert`
+       vanishes under -noassert. *)
+    if not (Overlay.remove_edge t u w) then
+      failwith "Churn.join: sampled edge vanished before removal";
     Overlay.add_edge t u fresh;
     Overlay.add_edge t fresh w
   done;

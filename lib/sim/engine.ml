@@ -72,6 +72,7 @@ let run ?(fault = Fault.none) ?(collect_trace = false) ?(stop_when_complete = fa
     dups.(v) <- dups.(v) + 1
   in
   let trace = if collect_trace then Some (Trace.create ()) else None in
+  let frt = Fault.start fault ~capacity:cap in
   let total_push = ref 0
   and total_pull = ref 0
   and total_channels = ref 0 in
@@ -81,6 +82,9 @@ let run ?(fault = Fault.none) ?(collect_trace = false) ?(stop_when_complete = fa
   while (not !stop) && !round < protocol.horizon + max_skew do
     incr round;
     let r = !round in
+    Fault.begin_round frt ~rng ~round:r ~degree:topology.degree
+      ~alive:topology.alive
+      ~informed:(fun v -> informed.(v));
     let decision_of v =
       if stamp.(v) <> r then begin
         let logical = r - skew v in
@@ -93,22 +97,23 @@ let run ?(fault = Fault.none) ?(collect_trace = false) ?(stop_when_complete = fa
     in
     let push_now = ref 0 and pull_now = ref 0 and channels_now = ref 0 in
     for u = 0 to cap - 1 do
-      if topology.alive u then begin
+      if topology.alive u && Fault.active frt u then begin
         let d = topology.degree u in
         if d > 0 then begin
           let k = Selector.select selector ~rng ~node:u ~degree:d ~out:scratch in
           for i = 0 to k - 1 do
             let w = topology.neighbor u scratch.(i) in
-            if topology.alive w && Fault.channel_ok fault rng then begin
+            if topology.alive w && Fault.active frt w && Fault.open_ok frt rng
+            then begin
               incr channels_now;
               if informed.(u) && (decision_of u).push
-                 && Fault.delivery_ok fault rng
+                 && Fault.push_ok frt rng ~sender:u
               then begin
                 incr push_now;
                 if informed.(w) || pending.(w) then record_dup u else mark w
               end;
               if informed.(w) && (decision_of w).pull
-                 && Fault.delivery_ok fault rng
+                 && Fault.pull_ok frt rng ~sender:w
               then begin
                 incr pull_now;
                 if informed.(u) || pending.(u) then record_dup w else mark u
@@ -143,13 +148,19 @@ let run ?(fault = Fault.none) ?(collect_trace = false) ?(stop_when_complete = fa
     let live = ref 0 and know = ref 0 and all_quiet = ref true in
     for v = 0 to cap - 1 do
       if topology.alive v then begin
-        incr live;
-        if informed.(v) then begin
-          incr know;
-          let logical = r + 1 - skew v in
-          if logical < 1 || not (protocol.quiescent state.(v) ~round:logical)
-          then all_quiet := false
+        if Fault.active frt v then begin
+          incr live;
+          if informed.(v) then begin
+            incr know;
+            let logical = r + 1 - skew v in
+            if logical < 1 || not (protocol.quiescent state.(v) ~round:logical)
+            then all_quiet := false
+          end
         end
+        else if informed.(v) && Fault.may_recover frt then
+          (* An informed crashed node may come back and resume its
+             schedule; don't declare the system quiet without it. *)
+          all_quiet := false
       end
     done;
     (match trace with
@@ -170,7 +181,7 @@ let run ?(fault = Fault.none) ?(collect_trace = false) ?(stop_when_complete = fa
   done;
   let live = ref 0 and know = ref 0 in
   for v = 0 to cap - 1 do
-    if topology.alive v then begin
+    if topology.alive v && Fault.active frt v then begin
       incr live;
       if informed.(v) then incr know
     end

@@ -60,6 +60,15 @@ val run :
     the topology (churn) but must not change [capacity]; newly
     appearing node ids start uninformed.
 
+    [fault] is a full {!Fault.t} plan, ticked at the start of every
+    round: burst (Gilbert–Elliott) chains advance, nodes crash and
+    recover at the plan's rates, and adversarial strikes land. Crashed
+    nodes open no channels, transmit nothing, receive nothing and are
+    excluded from [population] / [informed] / completion accounting
+    until they recover (with their state intact). A plan with no
+    faults draws no randomness, so results with [Fault.none] are
+    bit-identical to a run without the argument.
+
     [skew v] is node [v]'s clock offset: the paper assumes perfectly
     synchronised clocks, and this knob breaks that assumption — node
     [v] evaluates its protocol at logical round [round - skew v]

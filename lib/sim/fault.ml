@@ -1,18 +1,177 @@
 module Rng = Rumor_rng.Rng
 
-type t = { call_failure : float; link_loss : float }
+type burst = { loss : float; burst_len : float }
 
-let none = { call_failure = 0.; link_loss = 0. }
+type adversary = Random_nodes | Highest_degree | Frontier
+
+type strike = { at_round : int; count : int; adversary : adversary }
+
+type t = {
+  call_failure : float;
+  link_loss : float;
+  push_loss : float;
+  pull_loss : float;
+  burst : burst option;
+  crash_rate : float;
+  recover_rate : float;
+  strike : strike option;
+}
+
+let none =
+  {
+    call_failure = 0.;
+    link_loss = 0.;
+    push_loss = 0.;
+    pull_loss = 0.;
+    burst = None;
+    crash_rate = 0.;
+    recover_rate = 0.;
+    strike = None;
+  }
+
+let check_prob where name p =
+  if p < 0. || p > 1. then
+    invalid_arg (where ^ ": " ^ name ^ " out of range")
 
 let make ?(call_failure = 0.) ?(link_loss = 0.) () =
-  let check name p =
-    if p < 0. || p > 1. then invalid_arg ("Fault.make: " ^ name ^ " out of range")
-  in
-  check "call_failure" call_failure;
-  check "link_loss" link_loss;
-  { call_failure; link_loss }
+  check_prob "Fault.make" "call_failure" call_failure;
+  check_prob "Fault.make" "link_loss" link_loss;
+  { none with call_failure; link_loss }
+
+(* Enter probability p = loss / ((1 - loss) * burst_len) keeps the
+   chain's stationary bad-state probability at [loss]; it must itself be
+   a probability, which bounds loss by burst_len / (burst_len + 1). *)
+let burst ~loss ~burst_len =
+  if loss < 0. || loss >= 1. then
+    invalid_arg "Fault.burst: loss must be in [0, 1)";
+  if burst_len < 1. then invalid_arg "Fault.burst: burst_len must be >= 1";
+  if loss > burst_len /. (burst_len +. 1.) then
+    invalid_arg "Fault.burst: loss too high for this burst_len";
+  { loss; burst_len }
+
+let strike ?(adversary = Random_nodes) ~at_round ~count () =
+  if at_round < 1 then invalid_arg "Fault.strike: at_round must be >= 1";
+  if count < 0 then invalid_arg "Fault.strike: count must be >= 0";
+  { at_round; count; adversary }
+
+let plan ?(call_failure = 0.) ?(link_loss = 0.) ?(push_loss = 0.)
+    ?(pull_loss = 0.) ?burst ?(crash_rate = 0.) ?(recover_rate = 0.) ?strike
+    () =
+  check_prob "Fault.plan" "call_failure" call_failure;
+  check_prob "Fault.plan" "link_loss" link_loss;
+  check_prob "Fault.plan" "push_loss" push_loss;
+  check_prob "Fault.plan" "pull_loss" pull_loss;
+  check_prob "Fault.plan" "crash_rate" crash_rate;
+  check_prob "Fault.plan" "recover_rate" recover_rate;
+  {
+    call_failure;
+    link_loss;
+    push_loss;
+    pull_loss;
+    burst;
+    crash_rate;
+    recover_rate;
+    strike;
+  }
+
+let has_node_faults t =
+  t.crash_rate > 0. || t.strike <> None
 
 let channel_ok t rng =
   t.call_failure = 0. || not (Rng.bernoulli rng t.call_failure)
 
 let delivery_ok t rng = t.link_loss = 0. || not (Rng.bernoulli rng t.link_loss)
+
+(* --- stateful runtime driven by the engine's round loop --- *)
+
+type runtime = {
+  plan : t;
+  capacity : int;
+  bad : bool array;  (* Gilbert–Elliott state per node; [||] when unused *)
+  down : bool array;  (* crashed node ids; [||] when unused *)
+  ge_enter : float;  (* good -> bad transition probability *)
+  ge_leave : float;  (* bad -> good transition probability *)
+}
+
+let start plan ~capacity =
+  if capacity < 0 then invalid_arg "Fault.start: capacity < 0";
+  let bad =
+    match plan.burst with
+    | Some _ -> Array.make capacity false
+    | None -> [||]
+  in
+  let down =
+    if has_node_faults plan then Array.make capacity false else [||]
+  in
+  let ge_enter, ge_leave =
+    match plan.burst with
+    | Some b -> (b.loss /. ((1. -. b.loss) *. b.burst_len), 1. /. b.burst_len)
+    | None -> (0., 0.)
+  in
+  { plan; capacity; bad; down; ge_enter; ge_leave }
+
+let active rt v = Array.length rt.down = 0 || not rt.down.(v)
+let bursting rt v = Array.length rt.bad > 0 && rt.bad.(v)
+let may_recover rt = rt.plan.recover_rate > 0.
+
+let down_count rt =
+  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 rt.down
+
+let apply_strike rt ~rng ~degree ~alive ~informed s =
+  let eligible v =
+    alive v && not rt.down.(v)
+    && match s.adversary with Frontier -> informed v | _ -> true
+  in
+  let cands = ref [] in
+  for v = rt.capacity - 1 downto 0 do
+    if eligible v then cands := v :: !cands
+  done;
+  let arr = Array.of_list !cands in
+  let k = min s.count (Array.length arr) in
+  (match s.adversary with
+  | Highest_degree ->
+      (* deterministic: degree descending, id ascending on ties *)
+      Array.sort (fun a b -> compare (degree b, a) (degree a, b)) arr
+  | Random_nodes | Frontier -> Rng.shuffle_prefix rng arr k);
+  for i = 0 to k - 1 do
+    rt.down.(arr.(i)) <- true
+  done
+
+let begin_round rt ~rng ~round ~degree ~alive ~informed =
+  if Array.length rt.bad > 0 then
+    for v = 0 to rt.capacity - 1 do
+      if rt.bad.(v) then begin
+        if Rng.bernoulli rng rt.ge_leave then rt.bad.(v) <- false
+      end
+      else if Rng.bernoulli rng rt.ge_enter then rt.bad.(v) <- true
+    done;
+  if Array.length rt.down > 0 then begin
+    if rt.plan.recover_rate > 0. then
+      for v = 0 to rt.capacity - 1 do
+        if rt.down.(v) && Rng.bernoulli rng rt.plan.recover_rate then
+          rt.down.(v) <- false
+      done;
+    if rt.plan.crash_rate > 0. then
+      for v = 0 to rt.capacity - 1 do
+        if alive v && (not rt.down.(v))
+           && Rng.bernoulli rng rt.plan.crash_rate
+        then rt.down.(v) <- true
+      done;
+    match rt.plan.strike with
+    | Some s when s.at_round = round ->
+        apply_strike rt ~rng ~degree ~alive ~informed s
+    | Some _ | None -> ()
+  end
+
+let open_ok rt rng = channel_ok rt.plan rng
+
+let transmit_ok rt rng ~dir_loss ~sender =
+  (Array.length rt.bad = 0 || not rt.bad.(sender))
+  && (rt.plan.link_loss = 0. || not (Rng.bernoulli rng rt.plan.link_loss))
+  && (dir_loss = 0. || not (Rng.bernoulli rng dir_loss))
+
+let push_ok rt rng ~sender =
+  transmit_ok rt rng ~dir_loss:rt.plan.push_loss ~sender
+
+let pull_ok rt rng ~sender =
+  transmit_ok rt rng ~dir_loss:rt.plan.pull_loss ~sender

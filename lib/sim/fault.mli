@@ -1,27 +1,142 @@
-(** Communication-failure injection.
+(** Composable fault injection.
 
     The paper claims the algorithm "efficiently handles limited
-    communication failures" — experiment E6 quantifies this. Two
-    independent failure modes are modelled:
+    communication failures"; this module is the adversary that tests
+    the claim. A {e fault plan} ({!t}) layers several failure modes:
 
     - a {e call failure} drops the whole channel for the round (neither
       direction can be used), as if the connection attempt timed out;
-    - {e link loss} drops each individual message transmission. *)
+    - {e link loss} drops each individual message transmission,
+      independently;
+    - {e per-direction loss} ([push_loss] / [pull_loss]) drops push or
+      pull transmissions asymmetrically, on top of [link_loss];
+    - a {e burst} puts each node's uplink through a Gilbert–Elliott
+      two-state channel: in the bad state every transmission the node
+      sends is lost, and bad states persist for [burst_len] rounds in
+      expectation — correlated loss that i.i.d. coin flips cannot model;
+    - {e crash-stop / crash-recovery}: nodes crash at rate [crash_rate]
+      per round (recovering at [recover_rate] if nonzero, with their
+      state intact), and a one-shot adversarial {!strike} can kill up to
+      [count] chosen nodes at a chosen round.
+
+    The stateless sampling helpers ({!channel_ok}, {!delivery_ok}) see
+    only the independent components and serve the simpler runners
+    ([Async], [Multi]); {!Engine.run} drives the full plan through a
+    {!runtime}. A plan with no faults injects nothing and draws no
+    randomness, so [Fault.none] leaves engine results bit-identical to
+    a run without faults. *)
+
+type burst = {
+  loss : float;  (** long-run (stationary) fraction of transmissions lost *)
+  burst_len : float;  (** mean bad-state duration in rounds, >= 1 *)
+}
+
+type adversary =
+  | Random_nodes  (** crash uniformly random live nodes *)
+  | Highest_degree  (** crash the best-connected nodes (deterministic) *)
+  | Frontier  (** crash currently informed nodes — snipe the rumor *)
+
+type strike = {
+  at_round : int;  (** round at whose start the strike lands, >= 1 *)
+  count : int;  (** up to this many nodes are crashed *)
+  adversary : adversary;
+}
 
 type t = {
   call_failure : float;  (** probability a channel fails to establish *)
   link_loss : float;  (** probability a single transmission is lost *)
+  push_loss : float;  (** extra per-push loss (asymmetric links) *)
+  pull_loss : float;  (** extra per-pull loss (asymmetric links) *)
+  burst : burst option;  (** Gilbert–Elliott bursty loss, if any *)
+  crash_rate : float;  (** per-node per-round crash probability *)
+  recover_rate : float;  (** per-crashed-node per-round recovery probability *)
+  strike : strike option;  (** one-shot adversarial kill, if any *)
 }
 
 val none : t
 (** Fault-free communication. *)
 
 val make : ?call_failure:float -> ?link_loss:float -> unit -> t
-(** [make ()] builds a fault model; probabilities default to 0.
+(** [make ()] builds an independent-failures-only plan; probabilities
+    default to 0. Kept as the compatible constructor for the original
+    two-parameter fault model.
+    @raise Invalid_argument if a probability is outside [\[0, 1\]]. *)
+
+val burst : loss:float -> burst_len:float -> burst
+(** Validated Gilbert–Elliott parameters. The chain's stationary
+    bad-state probability equals [loss].
+    @raise Invalid_argument if [loss] is outside [\[0, 1)], [burst_len
+    < 1], or [loss > burst_len / (burst_len + 1)] (no transition
+    probability can realise that combination). *)
+
+val strike : ?adversary:adversary -> at_round:int -> count:int -> unit -> strike
+(** Validated one-shot kill ([adversary] defaults to {!Random_nodes}).
+    @raise Invalid_argument if [at_round < 1] or [count < 0]. *)
+
+val plan :
+  ?call_failure:float ->
+  ?link_loss:float ->
+  ?push_loss:float ->
+  ?pull_loss:float ->
+  ?burst:burst ->
+  ?crash_rate:float ->
+  ?recover_rate:float ->
+  ?strike:strike ->
+  unit ->
+  t
+(** [plan ()] builds a full fault plan; every mode defaults to off.
     @raise Invalid_argument if a probability is outside [\[0, 1\]]. *)
 
 val channel_ok : t -> Rumor_rng.Rng.t -> bool
-(** Sample whether a channel establishes. *)
+(** Sample whether a channel establishes (independent component only). *)
 
 val delivery_ok : t -> Rumor_rng.Rng.t -> bool
-(** Sample whether one transmission survives. *)
+(** Sample whether one transmission survives (independent [link_loss]
+    only — stateless view used by the [Async] and [Multi] runners). *)
+
+(** {1 Engine runtime}
+
+    The engine instantiates one {!runtime} per run and ticks it at the
+    start of every round; the runtime owns the Gilbert–Elliott chain
+    states and the crashed-node set. *)
+
+type runtime
+
+val start : t -> capacity:int -> runtime
+(** Fresh runtime for a topology with ids [0 .. capacity-1].
+    @raise Invalid_argument if [capacity < 0]. *)
+
+val begin_round :
+  runtime ->
+  rng:Rumor_rng.Rng.t ->
+  round:int ->
+  degree:(int -> int) ->
+  alive:(int -> bool) ->
+  informed:(int -> bool) ->
+  unit
+(** Advance one round: step every node's burst chain, recover and crash
+    nodes at the plan's rates, and land the adversarial strike when
+    [round] matches. Draws nothing for modes the plan leaves off. *)
+
+val active : runtime -> int -> bool
+(** [active rt v] — node [v] has not crashed (or has recovered). *)
+
+val bursting : runtime -> int -> bool
+(** [bursting rt v] — node [v]'s uplink is currently in the bad state. *)
+
+val may_recover : runtime -> bool
+(** Whether crashed nodes can come back (plan has [recover_rate] > 0). *)
+
+val down_count : runtime -> int
+(** Number of currently crashed nodes. *)
+
+val open_ok : runtime -> Rumor_rng.Rng.t -> bool
+(** Sample whether a channel establishes. *)
+
+val push_ok : runtime -> Rumor_rng.Rng.t -> sender:int -> bool
+(** Sample whether a push transmission from [sender] survives
+    [link_loss], [push_loss] and [sender]'s burst state. *)
+
+val pull_ok : runtime -> Rumor_rng.Rng.t -> sender:int -> bool
+(** Sample whether a pull transmission from [sender] survives
+    [link_loss], [pull_loss] and [sender]'s burst state. *)

@@ -154,6 +154,35 @@ let test_scenario_parse_full () =
       Alcotest.(check (float 1e-9)) "call failure" 0.1 s.Scenario.call_failure;
       Alcotest.(check int) "reps" 7 s.Scenario.reps
 
+let test_scenario_parse_fault_keys () =
+  let text =
+    "burst_loss = 0.1\n\
+     burst_len = 6\n\
+     crash_rate = 0.01\n\
+     recover_rate = 0.2\n\
+     crash_adversary = frontier\n\
+     crash_count = 32\n\
+     crash_round = 5\n\
+     n_error = 4\n"
+  in
+  match Scenario.parse text with
+  | Error e -> Alcotest.failf "should parse: %s" e
+  | Ok s ->
+      Alcotest.(check (float 1e-9)) "burst_loss" 0.1 s.Scenario.burst_loss;
+      Alcotest.(check (float 1e-9)) "burst_len" 6. s.Scenario.burst_len;
+      Alcotest.(check (float 1e-9)) "crash_rate" 0.01 s.Scenario.crash_rate;
+      Alcotest.(check (float 1e-9)) "recover_rate" 0.2 s.Scenario.recover_rate;
+      Alcotest.(check string) "adversary" "frontier" s.Scenario.crash_adversary;
+      Alcotest.(check int) "crash_count" 32 s.Scenario.crash_count;
+      Alcotest.(check int) "crash_round" 5 s.Scenario.crash_round;
+      Alcotest.(check (float 1e-9)) "n_error" 4. s.Scenario.n_error;
+      (* The assembled plan carries every mode. *)
+      let fault = Scenario.fault_plan s in
+      Alcotest.(check bool) "burst built" true
+        (fault.Rumor_sim.Fault.burst <> None);
+      Alcotest.(check bool) "strike built" true
+        (fault.Rumor_sim.Fault.strike <> None)
+
 let expect_error text fragment =
   match Scenario.parse text with
   | Ok _ -> Alcotest.failf "expected an error mentioning %S" fragment
@@ -176,7 +205,18 @@ let test_scenario_parse_errors () =
   expect_error "topology = donut" "unknown topology";
   expect_error "protocol = telepathy" "unknown protocol";
   expect_error "color = blue" "unknown key";
-  expect_error "seed = 1\nreps = 0" "line 2"
+  expect_error "seed = 1\nreps = 0" "line 2";
+  (* Duplicate keys are rejected, naming both occurrences. *)
+  expect_error "n = 512\nd = 4\nn = 1024" "duplicate key 'n'";
+  expect_error "n = 512\nd = 4\nn = 1024" "line 1";
+  (* New fault keys validate their ranges... *)
+  expect_error "burst_loss = 1.5" "burst_loss must be";
+  expect_error "burst_len = 0.5" "burst_len must be";
+  expect_error "crash_adversary = gremlins" "unknown crash_adversary";
+  expect_error "crash_round = 0" "crash_round must be";
+  expect_error "n_error = 0" "n_error must be";
+  (* ...and their joint realisability. *)
+  expect_error "burst_loss = 0.9\nburst_len = 2" "unrealisable"
 
 let test_scenario_run () =
   let scenario =
@@ -198,7 +238,7 @@ let test_scenario_factories_reject_unknown () =
   (match Scenario.make_graph ~rng ~topology:"moebius" ~n:16 ~d:4 with
   | exception Failure _ -> ()
   | _ -> Alcotest.fail "unknown topology accepted");
-  match Scenario.make_protocol ~protocol:"smoke-signals" ~n:16 ~d:4 ~alpha:1. ~fanout:4 with
+  match Scenario.make_protocol ~protocol:"smoke-signals" ~n:16 ~d:4 ~alpha:1. ~fanout:4 () with
   | exception Failure _ -> ()
   | _ -> Alcotest.fail "unknown protocol accepted"
 
@@ -268,6 +308,8 @@ let () =
         [
           Alcotest.test_case "defaults" `Quick test_scenario_defaults;
           Alcotest.test_case "parse full" `Quick test_scenario_parse_full;
+          Alcotest.test_case "parse fault keys" `Quick
+            test_scenario_parse_fault_keys;
           Alcotest.test_case "parse errors" `Quick test_scenario_parse_errors;
           Alcotest.test_case "run" `Quick test_scenario_run;
           Alcotest.test_case "missing file" `Quick test_scenario_parse_file_missing;

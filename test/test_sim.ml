@@ -81,6 +81,21 @@ let test_fault_frequency () =
   let rate = float_of_int !ok /. 20_000. in
   Alcotest.(check bool) "~70% established" true (abs_float (rate -. 0.7) < 0.02)
 
+let test_fault_make_is_plan_subset () =
+  (* The compatible constructor builds the same plan as the full one. *)
+  Alcotest.(check bool) "make = plan on shared fields" true
+    (Fault.make ~call_failure:0.1 ~link_loss:0.2 ()
+    = Fault.plan ~call_failure:0.1 ~link_loss:0.2 ());
+  (* Stateless helpers ignore the stateful modes entirely. *)
+  let rng = Rng.create 20 in
+  let f =
+    Fault.plan ~burst:(Fault.burst ~loss:0.5 ~burst_len:2.) ~crash_rate:0.9 ()
+  in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "channel unaffected" true (Fault.channel_ok f rng);
+    Alcotest.(check bool) "delivery unaffected" true (Fault.delivery_ok f rng)
+  done
+
 (* --- Trace --- *)
 
 let test_trace_growth () =
@@ -445,6 +460,8 @@ let () =
           Alcotest.test_case "validation" `Quick test_fault_validation;
           Alcotest.test_case "total loss" `Quick test_fault_total_loss;
           Alcotest.test_case "frequency" `Quick test_fault_frequency;
+          Alcotest.test_case "make is plan subset" `Quick
+            test_fault_make_is_plan_subset;
         ] );
       ( "trace",
         [
