@@ -6,7 +6,14 @@
    empirical tables, so the theorem statements define the targets; see
    EXPERIMENTS.md for the paper-vs-measured record).
 
-   Usage: main.exe [E1 E2 ... | all] [--quick] *)
+   With --json FILE the harness additionally writes one machine-readable
+   record per experiment (schema "rumor-bench/1": id, title, params,
+   per-seed metrics, summaries, wall/CPU seconds, GC deltas, git
+   metadata) so performance trajectories can be diffed across PRs —
+   see EXPERIMENTS.md for the schema and `rumor bench-check` for the
+   validator.
+
+   Usage: main.exe [E1 E2 ... | all] [--quick] [--json FILE] *)
 
 module Rng = Rumor_rng.Rng
 module Dist = Rumor_rng.Dist
@@ -31,12 +38,38 @@ module Summary = Rumor_stats.Summary
 module Table = Rumor_stats.Table
 module Regression = Rumor_stats.Regression
 module Experiment = Rumor_stats.Experiment
+module Json = Rumor_obs.Json
+module Metrics = Rumor_obs.Metrics
+module Encode = Rumor_obs.Encode
 
 let quick = ref false
 
 let reps () = if !quick then 3 else 5
 
+(* --- telemetry ---
+
+   When --json FILE is given, experiments append (key, value) pairs to
+   [current_data] via [record]; the driver wraps each experiment in a
+   Metrics.timed span and assembles one record per experiment. Without
+   --json, [record] is a no-op and the harness behaves exactly as
+   before. *)
+
+let json_path : string option ref = ref None
+let current_points : Json.t list ref = ref []
+let current_scalars : (string * Json.t) list ref = ref []
+let current_title = ref ""
+
+(* A repeated measurement (one per sweep point) — lands in the record's
+   [data.points] array, in emission order. *)
+let record_point v =
+  if !json_path <> None then current_points := v :: !current_points
+
+(* A one-shot named value (a fit, a derived constant). *)
+let record key v =
+  if !json_path <> None then current_scalars := (key, v) :: !current_scalars
+
 let section id title =
+  current_title := title;
   Printf.printf "\n=== %s: %s ===\n%!" id title
 
 let fin x = float_of_int x
@@ -52,6 +85,8 @@ type sweep_point = {
   tx_per_node : Summary.t;
   rounds : Summary.t;
   success : float;
+  per_seed_tx : float list;  (** tx/node, one entry per repetition *)
+  per_seed_rounds : float list;  (** completion (or last) round per repetition *)
 }
 
 let sweep ?fault ?(stop = false) ~seed ~n ~d protocol_of =
@@ -59,22 +94,43 @@ let sweep ?fault ?(stop = false) ~seed ~n ~d protocol_of =
     Experiment.replicate_parallel ~domains:4 ~seed ~reps:(reps ()) (fun rng ->
         run_once ?fault ~stop ~rng ~n ~d (protocol_of ()))
   in
+  let per_seed_tx =
+    List.map (fun r -> fin (Engine.transmissions r) /. fin n) results
+  in
+  let per_seed_rounds =
+    List.map
+      (fun r ->
+        match r.Engine.completion_round with
+        | Some c -> fin c
+        | None -> fin r.Engine.rounds)
+      results
+  in
   {
-    tx_per_node =
-      Summary.of_list
-        (List.map (fun r -> fin (Engine.transmissions r) /. fin n) results);
-    rounds =
-      Summary.of_list
-        (List.map
-           (fun r ->
-             match r.Engine.completion_round with
-             | Some c -> fin c
-             | None -> fin r.Engine.rounds)
-           results);
+    tx_per_node = Summary.of_list per_seed_tx;
+    rounds = Summary.of_list per_seed_rounds;
     success =
       fin (List.length (List.filter Engine.success results))
       /. fin (List.length results);
+    per_seed_tx;
+    per_seed_rounds;
   }
+
+(* One sweep point as a JSON object: summaries plus the raw per-seed
+   metrics, prefixed by caller-supplied parameter fields. *)
+let sweep_point_json ?(extra = []) pt =
+  Json.Obj
+    (extra
+    @ [
+        ("tx_per_node", Encode.summary pt.tx_per_node);
+        ("rounds", Encode.summary pt.rounds);
+        ("success_rate", Json.Float pt.success);
+        ( "per_seed",
+          Json.Obj
+            [
+              ("tx_per_node", Encode.float_list pt.per_seed_tx);
+              ("rounds", Encode.float_list pt.per_seed_rounds);
+            ] );
+      ])
 
 (* ------------------------------------------------------------------ *)
 (* E0: do generated instances satisfy the proofs' assumptions?         *)
@@ -173,6 +229,15 @@ let e1_e2 () =
       in
       bef_pts := (fin n, bef.tx_per_node.Summary.mean) :: !bef_pts;
       push_pts := (fin n, push.tx_per_node.Summary.mean) :: !push_pts;
+      record_point
+        (Json.Obj
+           [
+             ("n", Json.Int n);
+             ("d", Json.Int d);
+             ("bef", sweep_point_json bef);
+             ("push", sweep_point_json push);
+             ("push_pull_age", sweep_point_json pp_age);
+           ]);
       Table.add_row t
         [
           string_of_int n;
@@ -188,6 +253,12 @@ let e1_e2 () =
   Table.print t;
   let bef_fit = Regression.semilogx !bef_pts in
   let push_fit = Regression.semilogx !push_pts in
+  record "per_doubling_slope"
+    (Json.Obj
+       [
+         ("bef", Json.Float bef_fit.Regression.slope);
+         ("push", Json.Float push_fit.Regression.slope);
+       ]);
   Printf.printf
     "per-doubling growth of tx/node: bef %.3f vs push %.3f (paper: O(log log n) vs Theta(log n))\n"
     bef_fit.Regression.slope push_fit.Regression.slope;
@@ -413,20 +484,37 @@ let e6 () =
                 run_once ~fault ~rng ~n ~d
                   (Algorithm.make (Params.make ~alpha ~n_estimate:n ~d ())))
           in
-          let coverage =
-            Summary.of_list
-              (List.map
-                 (fun r -> fin r.Engine.informed /. fin r.Engine.population)
-                 results)
+          let cov_per_seed =
+            List.map
+              (fun r -> fin r.Engine.informed /. fin r.Engine.population)
+              results
           in
+          let tx_per_seed =
+            List.map (fun r -> fin (Engine.transmissions r) /. fin n) results
+          in
+          let coverage = Summary.of_list cov_per_seed in
           let success =
             fin (List.length (List.filter Engine.success results))
             /. fin (List.length results)
           in
-          let tx =
-            Summary.of_list
-              (List.map (fun r -> fin (Engine.transmissions r) /. fin n) results)
-          in
+          let tx = Summary.of_list tx_per_seed in
+          record_point
+            (Json.Obj
+               [
+                 ("link_loss", Json.Float loss);
+                 ("alpha", Json.Float alpha);
+                 ("n", Json.Int n);
+                 ("d", Json.Int d);
+                 ("success_rate", Json.Float success);
+                 ("coverage", Encode.summary coverage);
+                 ("tx_per_node", Encode.summary tx);
+                 ( "per_seed",
+                   Json.Obj
+                     [
+                       ("coverage", Encode.float_list cov_per_seed);
+                       ("tx_per_node", Encode.float_list tx_per_seed);
+                     ] );
+               ]);
           Table.add_row t
             [
               Printf.sprintf "%.2f" loss;
@@ -481,6 +569,17 @@ let e7 () =
               ~n ~d
               (fun () -> Algorithm.make (Params.make ~alpha ~n_estimate:est ~d ()))
           in
+          record_point
+            (sweep_point_json
+               ~extra:
+                 [
+                   ("burst_loss", Json.Float loss);
+                   ("estimate_factor", Json.Float factor);
+                   ("n", Json.Int n);
+                   ("d", Json.Int d);
+                   ("alpha", Json.Float alpha);
+                 ]
+               st);
           Table.add_row t
             [
               Printf.sprintf "%.2f" loss;
@@ -1567,18 +1666,34 @@ let all_experiments =
     ("MICRO", micro);
   ]
 
+(* Best-effort git metadata so a bench record can be tied back to the
+   commit that produced it. *)
+let git_describe () =
+  try
+    let ic =
+      Unix.open_process_in "git describe --always --dirty 2>/dev/null"
+    in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> Json.String line
+    | _ -> Json.Null
+  with _ -> Json.Null
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let args =
-    List.filter
-      (fun a ->
-        if a = "--quick" then begin
-          quick := true;
-          false
-        end
-        else true)
-      args
+  let rec parse_args acc = function
+    | [] -> List.rev acc
+    | "--quick" :: rest ->
+        quick := true;
+        parse_args acc rest
+    | [ "--json" ] ->
+        prerr_endline "main.exe: --json requires a FILE argument";
+        exit 2
+    | "--json" :: path :: rest ->
+        json_path := Some path;
+        parse_args acc rest
+    | a :: rest -> parse_args (a :: acc) rest
   in
+  let args = parse_args [] (List.tl (Array.to_list Sys.argv)) in
   let selected =
     match args with
     | [] | [ "all" ] -> all_experiments
@@ -1593,4 +1708,50 @@ let () =
   Printf.printf "rumor experiment harness (%s mode, %d repetitions)\n"
     (if !quick then "quick" else "full")
     (reps ());
-  List.iter (fun (_, f) -> f ()) selected
+  let records =
+    List.map
+      (fun (id, f) ->
+        current_points := [];
+        current_scalars := [];
+        current_title := "";
+        let (), span = Metrics.timed f in
+        let span_fields =
+          match Metrics.span_to_json span with Json.Obj fs -> fs | _ -> []
+        in
+        let data =
+          (match !current_points with
+          | [] -> []
+          | pts -> [ ("points", Json.List (List.rev pts)) ])
+          @ List.rev !current_scalars
+        in
+        Json.Obj
+          (("id", Json.String id)
+           :: ("title", Json.String !current_title)
+           :: span_fields
+          @ [ ("data", Json.Obj data) ]))
+      selected
+  in
+  match !json_path with
+  | None -> ()
+  | Some path ->
+      let top =
+        Json.Obj
+          [
+            ("schema", Json.String "rumor-bench/1");
+            ("created_unix", Json.Float (Unix.gettimeofday ()));
+            ("git", git_describe ());
+            ("ocaml", Json.String Sys.ocaml_version);
+            ("word_size", Json.Int Sys.word_size);
+            ( "argv",
+              Json.List
+                (List.map (fun a -> Json.String a) (Array.to_list Sys.argv)) );
+            ("quick", Json.Bool !quick);
+            ("reps", Json.Int (reps ()));
+            ("experiments", Json.List records);
+          ]
+      in
+      let oc = open_out path in
+      Json.to_channel ~minify:false oc top;
+      close_out oc;
+      Printf.printf "\nwrote %s (%d experiment records)\n" path
+        (List.length records)

@@ -1,10 +1,15 @@
 (* Command-line interface to the rumor library.
 
    Subcommands:
-     generate   sample a graph and print its structural statistics
-     broadcast  run one broadcast and report time/transmissions
-     sweep      repeat a broadcast over sizes and seeds, print a table
-     churn      broadcast over a dynamic overlay with join/leave *)
+     generate    sample a graph and print its structural statistics
+     broadcast   run one broadcast and report time/transmissions
+     sweep       repeat a broadcast over sizes and seeds, print a table
+     churn       broadcast over a dynamic overlay with join/leave
+     bench-check validate a BENCH_*.json telemetry file
+
+   broadcast, sweep and robustness take --json to emit one structured
+   JSON document on stdout instead of the human tables; broadcast also
+   takes --trace-out FILE for an NDJSON per-round dump. *)
 
 module Rng = Rumor_rng.Rng
 module Graph = Rumor_graph.Graph
@@ -28,6 +33,9 @@ module Churn = Rumor_p2p.Churn
 module Summary = Rumor_stats.Summary
 module Table = Rumor_stats.Table
 module Experiment = Rumor_stats.Experiment
+module Json = Rumor_obs.Json
+module Obs_metrics = Rumor_obs.Metrics
+module Encode = Rumor_obs.Encode
 
 open Cmdliner
 
@@ -67,6 +75,23 @@ let loss_arg =
 
 let trace_arg =
   Arg.(value & flag & info [ "trace" ] ~doc:"Print the per-round trace.")
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Emit one machine-readable JSON document on stdout instead of the \
+           human-readable report.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the per-round trace as newline-delimited JSON (one object \
+           per round) to $(docv).")
 
 (* --- generate --- *)
 
@@ -114,7 +139,8 @@ let generate_cmd =
 
 (* --- broadcast --- *)
 
-let broadcast seed n d topology protocol alpha fanout loss trace graph_in =
+let broadcast seed n d topology protocol alpha fanout loss trace graph_in json
+    trace_out =
   let rng = Rng.create seed in
   let g =
     match graph_in with
@@ -126,28 +152,60 @@ let broadcast seed n d topology protocol alpha fanout loss trace graph_in =
     Rumor_cli.Scenario.make_protocol ~protocol ~n:n_real ~d ~alpha ~fanout ()
   in
   let fault = Fault.make ~link_loss:loss () in
-  let res =
-    Run.once ~fault ~collect_trace:trace ~rng ~graph:g ~protocol:p
-      ~source:(Run.random_source rng g) ()
+  let collect_trace = trace || trace_out <> None in
+  let res, span =
+    Obs_metrics.timed (fun () ->
+        Run.once ~fault ~collect_trace ~rng ~graph:g ~protocol:p
+          ~source:(Run.random_source rng g) ())
   in
-  Printf.printf "protocol     %s\n" p.Rumor_sim.Protocol.name;
-  Printf.printf "informed     %d / %d (%s)\n" res.Engine.informed
-    res.Engine.population
-    (if Engine.success res then "complete" else "INCOMPLETE");
-  (match res.Engine.completion_round with
-  | Some r -> Printf.printf "completion   round %d\n" r
-  | None -> Printf.printf "completion   never\n");
-  Printf.printf "rounds run   %d\n" res.Engine.rounds;
-  Printf.printf "transmissions %d push + %d pull = %d (%.2f per node)\n"
-    res.Engine.push_tx res.Engine.pull_tx
-    (Engine.transmissions res)
-    (float_of_int (Engine.transmissions res) /. float_of_int n_real);
-  (match res.Engine.trace with
-  | Some t when trace ->
-      Printf.printf "informed      %s\n"
-        (Rumor_stats.Sparkline.with_scale (Trace.informed_series t));
-      Format.printf "%a" Trace.pp t
-  | Some _ | None -> ());
+  (match (res.Engine.trace, trace_out) with
+  | Some t, Some path ->
+      let oc = open_out path in
+      output_string oc (Encode.trace_ndjson t);
+      close_out oc;
+      if not json then Printf.printf "wrote trace %s (%d rounds)\n" path (Trace.length t)
+  | _ -> ());
+  if json then
+    print_endline
+      (Json.to_string ~minify:false
+         (Json.Obj
+            [
+              ("command", Json.String "broadcast");
+              ("seed", Json.Int seed);
+              ("topology", Json.String topology);
+              ("n", Json.Int n_real);
+              ("d", Json.Int d);
+              ("protocol", Json.String p.Rumor_sim.Protocol.name);
+              ("alpha", Json.Float alpha);
+              ("fanout", Json.Int fanout);
+              ("link_loss", Json.Float loss);
+              ("result", Encode.engine_result res);
+              ( "tx_per_node",
+                Json.Float
+                  (float_of_int (Engine.transmissions res)
+                  /. float_of_int n_real) );
+              ("metrics", Obs_metrics.span_to_json span);
+            ]))
+  else begin
+    Printf.printf "protocol     %s\n" p.Rumor_sim.Protocol.name;
+    Printf.printf "informed     %d / %d (%s)\n" res.Engine.informed
+      res.Engine.population
+      (if Engine.success res then "complete" else "INCOMPLETE");
+    (match res.Engine.completion_round with
+    | Some r -> Printf.printf "completion   round %d\n" r
+    | None -> Printf.printf "completion   never\n");
+    Printf.printf "rounds run   %d\n" res.Engine.rounds;
+    Printf.printf "transmissions %d push + %d pull = %d (%.2f per node)\n"
+      res.Engine.push_tx res.Engine.pull_tx
+      (Engine.transmissions res)
+      (float_of_int (Engine.transmissions res) /. float_of_int n_real);
+    match res.Engine.trace with
+    | Some t when trace ->
+        Printf.printf "informed      %s\n"
+          (Rumor_stats.Sparkline.with_scale (Trace.informed_series t));
+        Format.printf "%a" Trace.pp t
+    | Some _ | None -> ()
+  end;
   if Engine.success res then 0 else 1
 
 let broadcast_cmd =
@@ -155,7 +213,8 @@ let broadcast_cmd =
   Cmd.v info
     Term.(
       const broadcast $ seed_arg $ n_arg $ d_arg $ topology_arg $ protocol_arg
-      $ alpha_arg $ fanout_arg $ loss_arg $ trace_arg $ graph_in_arg)
+      $ alpha_arg $ fanout_arg $ loss_arg $ trace_arg $ graph_in_arg $ json_arg
+      $ trace_out_arg)
 
 (* --- sweep --- *)
 
@@ -168,7 +227,7 @@ let sizes_arg =
 let reps_arg =
   Arg.(value & opt int 5 & info [ "reps" ] ~docv:"R" ~doc:"Repetitions per point.")
 
-let sweep seed sizes d protocol alpha fanout reps =
+let sweep seed sizes d protocol alpha fanout reps json =
   let t =
     Table.create
       ~columns:
@@ -180,6 +239,7 @@ let sweep seed sizes d protocol alpha fanout reps =
           ("success", Table.Right);
         ]
   in
+  let points = ref [] in
   List.iteri
     (fun i n ->
       let results =
@@ -192,18 +252,34 @@ let sweep seed sizes d protocol alpha fanout reps =
               ~stop_when_complete:(protocol <> "bef" && protocol <> "bef-seq")
               ~rng ~graph:g ~protocol:p ~source:(Run.random_source rng g) ())
       in
-      let tx =
-        Summary.of_list
-          (List.map
-             (fun r -> float_of_int (Engine.transmissions r) /. float_of_int n)
-             results)
+      let tx_per_seed =
+        List.map
+          (fun r -> float_of_int (Engine.transmissions r) /. float_of_int n)
+          results
       in
-      let rounds =
-        Summary.of_list (List.map (fun r -> float_of_int r.Engine.rounds) results)
+      let rounds_per_seed =
+        List.map (fun r -> float_of_int r.Engine.rounds) results
       in
+      let tx = Summary.of_list tx_per_seed in
+      let rounds = Summary.of_list rounds_per_seed in
       let ok =
         List.length (List.filter Engine.success results) * 100 / List.length results
       in
+      points :=
+        Json.Obj
+          [
+            ("n", Json.Int n);
+            ("tx_per_node", Encode.summary tx);
+            ("rounds", Encode.summary rounds);
+            ("success_rate", Json.Float (float_of_int ok /. 100.));
+            ( "per_seed",
+              Json.Obj
+                [
+                  ("tx_per_node", Encode.float_list tx_per_seed);
+                  ("rounds", Encode.float_list rounds_per_seed);
+                ] );
+          ]
+        :: !points;
       Table.add_row t
         [
           string_of_int n;
@@ -213,7 +289,21 @@ let sweep seed sizes d protocol alpha fanout reps =
           Printf.sprintf "%d%%" ok;
         ])
     sizes;
-  Table.print t;
+  if json then
+    print_endline
+      (Json.to_string ~minify:false
+         (Json.Obj
+            [
+              ("command", Json.String "sweep");
+              ("seed", Json.Int seed);
+              ("d", Json.Int d);
+              ("protocol", Json.String protocol);
+              ("alpha", Json.Float alpha);
+              ("fanout", Json.Int fanout);
+              ("reps", Json.Int reps);
+              ("points", Json.List (List.rev !points));
+            ]))
+  else Table.print t;
   0
 
 let sweep_cmd =
@@ -221,7 +311,7 @@ let sweep_cmd =
   Cmd.v info
     Term.(
       const sweep $ seed_arg $ sizes_arg $ d_arg $ protocol_arg $ alpha_arg
-      $ fanout_arg $ reps_arg)
+      $ fanout_arg $ reps_arg $ json_arg)
 
 (* --- churn --- *)
 
@@ -315,7 +405,7 @@ let use_estimator_arg =
           "Source the size estimate from min-of-exponentials gossip at the \
            broadcast source instead of sweeping fixed n-error factors.")
 
-let robustness seed n d alpha reps burst_len use_estimator =
+let robustness seed n d alpha reps burst_len use_estimator json =
   if burst_len < 1. then begin
     prerr_endline "rumor: --burst-len must be >= 1";
     exit 2
@@ -330,10 +420,13 @@ let robustness seed n d alpha reps burst_len use_estimator =
     * List.length (List.filter (fun (r, _) -> Engine.success r) results)
     / List.length results
   in
-  Printf.printf
-    "robustness sweep: n=%d d=%d alpha=%.1f reps=%d burst_len=%.1f%s\n" n d
-    alpha reps burst_len
-    (if use_estimator then " (gossip size estimate)" else "");
+  let sweep_points = ref [] in
+  let crash_points = ref [] in
+  if not json then
+    Printf.printf
+      "robustness sweep: n=%d d=%d alpha=%.1f reps=%d burst_len=%.1f%s\n" n d
+      alpha reps burst_len
+      (if use_estimator then " (gossip size estimate)" else "");
   let t =
     Table.create
       ~columns:
@@ -398,6 +491,36 @@ let robustness seed n d alpha reps burst_len use_estimator =
             summar (fun (r, _) -> float_of_int r.Engine.rounds) results
           in
           let est_factor = summar (fun (_, f) -> f) results in
+          sweep_points :=
+            Json.Obj
+              [
+                ("burst_loss", Json.Float loss);
+                ("estimate_factor", Json.Float est_factor.Summary.mean);
+                ( "success_rate",
+                  Json.Float (float_of_int (pct_success results) /. 100.) );
+                ("coverage", Encode.summary coverage);
+                ("tx_per_node", Encode.summary tx);
+                ("rounds", Encode.summary rounds);
+                ( "per_seed",
+                  Json.Obj
+                    [
+                      ( "coverage",
+                        Encode.float_list
+                          (List.map
+                             (fun (r, _) ->
+                               float_of_int r.Engine.informed
+                               /. float_of_int r.Engine.population)
+                             results) );
+                      ( "tx_per_node",
+                        Encode.float_list
+                          (List.map
+                             (fun (r, _) ->
+                               float_of_int (Engine.transmissions r)
+                               /. float_of_int n)
+                             results) );
+                    ] );
+              ]
+            :: !sweep_points;
           Table.add_row t
             [
               Printf.sprintf "%.2f" loss;
@@ -409,9 +532,11 @@ let robustness seed n d alpha reps burst_len use_estimator =
             ])
         errors)
     losses;
-  Table.print t;
-  (* Node-crash schedules, random and adversarial. *)
-  print_endline "\nnode crashes (10% bursty loss kept on):";
+  if not json then begin
+    Table.print t;
+    (* Node-crash schedules, random and adversarial. *)
+    print_endline "\nnode crashes (10% bursty loss kept on):"
+  end;
   let t2 =
     Table.create
       ~columns:
@@ -483,6 +608,16 @@ let robustness seed n d alpha reps burst_len use_estimator =
              (fun r -> float_of_int (Engine.transmissions r) /. float_of_int n)
              results)
       in
+      crash_points :=
+        Json.Obj
+          [
+            ("schedule", Json.String label);
+            ("success_rate", Json.Float (float_of_int ok /. 100.));
+            ("coverage", Encode.summary coverage);
+            ("final_population", Encode.summary pop);
+            ("tx_per_node", Encode.summary tx);
+          ]
+        :: !crash_points;
       Table.add_row t2
         [
           label;
@@ -492,10 +627,28 @@ let robustness seed n d alpha reps burst_len use_estimator =
           Printf.sprintf "%.1f" tx.Summary.mean;
         ])
     schedules;
-  Table.print t2;
-  print_endline
-    "(coverage is over surviving nodes; a frontier strike that lands before\n\
-    \ phase 2 can kill every copy of the rumor - no protocol survives that)";
+  if json then
+    print_endline
+      (Json.to_string ~minify:false
+         (Json.Obj
+            [
+              ("command", Json.String "robustness");
+              ("seed", Json.Int seed);
+              ("n", Json.Int n);
+              ("d", Json.Int d);
+              ("alpha", Json.Float alpha);
+              ("reps", Json.Int reps);
+              ("burst_len", Json.Float burst_len);
+              ("use_estimator", Json.Bool use_estimator);
+              ("sweep", Json.List (List.rev !sweep_points));
+              ("crash_schedules", Json.List (List.rev !crash_points));
+            ]))
+  else begin
+    Table.print t2;
+    print_endline
+      "(coverage is over surviving nodes; a frontier strike that lands before\n\
+      \ phase 2 can kill every copy of the rumor - no protocol survives that)"
+  end;
   0
 
 let robustness_cmd =
@@ -508,7 +661,7 @@ let robustness_cmd =
   Cmd.v info
     Term.(
       const robustness $ seed_arg $ robust_n_arg $ d_arg $ robust_alpha_arg
-      $ reps_arg $ burst_len_arg $ use_estimator_arg)
+      $ reps_arg $ burst_len_arg $ use_estimator_arg $ json_arg)
 
 (* --- run (scenario files) --- *)
 
@@ -532,6 +685,87 @@ let run_cmd =
   let info = Cmd.info "run" ~doc:"Execute a scenario file." in
   Cmd.v info Term.(const run_scenario $ scenario_file_arg)
 
+(* --- bench-check --- *)
+
+let bench_file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"BENCH.json"
+        ~doc:"Bench record written by `bench/main.exe --json`.")
+
+(* Schema validation for rumor-bench/1 files. Every field checked here
+   is part of the contract between bench/main.ml, the BENCH_*.json
+   trajectory at the repo root and external diff tooling — a failure
+   means the schema rotted and the writer and this checker must be
+   updated together. *)
+let bench_check path =
+  let read_file p =
+    let ic = open_in_bin p in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    s
+  in
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  (match Json.of_string (read_file path) with
+  | Error e -> err "does not parse: %s" e
+  | Ok top ->
+      (match Option.bind (Json.member "schema" top) Json.to_string_opt with
+      | Some "rumor-bench/1" -> ()
+      | Some other -> err "unknown schema %S" other
+      | None -> err "missing \"schema\"");
+      List.iter
+        (fun field ->
+          if Json.member field top = None then err "missing %S" field)
+        [ "created_unix"; "git"; "ocaml"; "argv"; "quick"; "reps" ];
+      (match Option.bind (Json.member "experiments" top) Json.to_list with
+      | None -> err "missing \"experiments\" array"
+      | Some [] -> err "\"experiments\" is empty"
+      | Some exps ->
+          List.iteri
+            (fun i e ->
+              let id =
+                match
+                  Option.bind (Json.member "id" e) Json.to_string_opt
+                with
+                | Some id -> id
+                | None ->
+                    err "experiment %d: missing \"id\"" i;
+                    Printf.sprintf "#%d" i
+              in
+              List.iter
+                (fun field ->
+                  match Option.bind (Json.member field e) Json.to_float with
+                  | Some s when s >= 0. -> ()
+                  | Some _ -> err "%s: negative %S" id field
+                  | None -> err "%s: missing %S" id field)
+                [ "wall_s"; "cpu_s" ];
+              (match Json.member "gc" e with
+              | Some (Json.Obj _) -> ()
+              | _ -> err "%s: missing \"gc\" object" id);
+              match Json.member "data" e with
+              | Some (Json.Obj _) -> ()
+              | _ -> err "%s: missing \"data\" object" id)
+            exps));
+  match !errors with
+  | [] ->
+      Printf.printf "%s: valid rumor-bench/1 file\n" path;
+      0
+  | es ->
+      List.iter (fun m -> Printf.eprintf "%s: %s\n" path m) (List.rev es);
+      2
+
+let bench_check_cmd =
+  let info =
+    Cmd.info "bench-check"
+      ~doc:
+        "Validate that a telemetry file written by `bench/main.exe --json` \
+         conforms to the rumor-bench/1 schema."
+  in
+  Cmd.v info Term.(const bench_check $ bench_file_arg)
+
 (* --- main --- *)
 
 let () =
@@ -552,4 +786,5 @@ let () =
             estimate_cmd;
             run_cmd;
             robustness_cmd;
+            bench_check_cmd;
           ]))

@@ -25,11 +25,12 @@ let schedule (p : Params.t) variant =
   match variant with
   | Small ->
       let p3_end = p2_end + 1 in
-      let last =
-        (2 * int_of_float (ceil (p.alpha *. lg)))
-        + int_of_float (ceil (p.alpha *. llg))
-      in
-      { variant; p1_end; p2_end; p3_end; last = max last p3_end }
+      (* Phase 4 is "ceil(alpha log n) further rounds" after the pull
+         round, so anchor it at p3_end. The earlier closed form
+         2*ceil(alpha*lg) + ceil(alpha*llg) undercounts by one round
+         whenever ceil(a*lg) + ceil(a*llg) > ceil(a*(lg+llg)). *)
+      let last = p3_end + p1_end in
+      { variant; p1_end; p2_end; p3_end; last }
   | Large ->
       let p3_end = int_of_float (ceil ((p.alpha *. lg) +. (2. *. p.alpha *. llg))) in
       let p3_end = max p3_end (p2_end + 1) in

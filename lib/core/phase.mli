@@ -7,8 +7,8 @@
     - phase 2: next [ceil(alpha*log log n)] rounds — every informed
       node pushes;
     - phase 3: a single round of pull;
-    - phase 4: until round [2*ceil(alpha*log n) + ceil(alpha*log log n)]
-      — nodes first informed in phase 3 or 4 ("active") push.
+    - phase 4: the next [ceil(alpha*log n)] rounds — nodes first
+      informed in phase 3 or 4 ("active") push.
 
     For the large-degree Algorithm 2 phases 1–2 coincide and phase 3 is
     [~alpha*log log n] rounds of pull with no phase 4. *)

@@ -1,0 +1,55 @@
+module Summary = Rumor_stats.Summary
+module Engine = Rumor_sim.Engine
+module Trace = Rumor_sim.Trace
+
+let summary (s : Summary.t) =
+  Json.Obj
+    [
+      ("count", Json.Int s.Summary.count);
+      ("mean", Json.Float s.Summary.mean);
+      ("stddev", Json.Float s.Summary.stddev);
+      ("min", Json.Float s.Summary.min);
+      ("max", Json.Float s.Summary.max);
+      ("median", Json.Float s.Summary.median);
+      ("p10", Json.Float s.Summary.p10);
+      ("p90", Json.Float s.Summary.p90);
+    ]
+
+let engine_result (r : Engine.result) =
+  Json.Obj
+    [
+      ("rounds", Json.Int r.Engine.rounds);
+      ( "completion_round",
+        match r.Engine.completion_round with
+        | Some c -> Json.Int c
+        | None -> Json.Null );
+      ("informed", Json.Int r.Engine.informed);
+      ("population", Json.Int r.Engine.population);
+      ("push_tx", Json.Int r.Engine.push_tx);
+      ("pull_tx", Json.Int r.Engine.pull_tx);
+      ("channels", Json.Int r.Engine.channels);
+      ("success", Json.Bool (Engine.success r));
+    ]
+
+let trace_row (r : Trace.row) =
+  Json.Obj
+    [
+      ("round", Json.Int r.Trace.round);
+      ("informed", Json.Int r.Trace.informed);
+      ("newly", Json.Int r.Trace.newly);
+      ("push_tx", Json.Int r.Trace.push_tx);
+      ("pull_tx", Json.Int r.Trace.pull_tx);
+      ("channels", Json.Int r.Trace.channels);
+    ]
+
+let trace_ndjson t =
+  let buf = Buffer.create (96 * (Trace.length t + 1)) in
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (Json.to_string (trace_row row));
+      Buffer.add_char buf '\n')
+    (Trace.rows t);
+  Buffer.contents buf
+
+let float_list l = Json.List (List.map (fun x -> Json.Float x) l)
+let int_list l = Json.List (List.map (fun i -> Json.Int i) l)

@@ -1,0 +1,27 @@
+(** JSON serializers for the library's result types.
+
+    These define the stable field names of the telemetry schema; the
+    bench records ([BENCH_*.json]), the CLI's [--json] output and the
+    [bench-check] validator all speak them. Add fields freely — removing
+    or renaming one is a schema break that [bench-check] should learn
+    about in the same PR. *)
+
+val summary : Rumor_stats.Summary.t -> Json.t
+(** [{count, mean, stddev, min, max, median, p10, p90}]. *)
+
+val engine_result : Rumor_sim.Engine.result -> Json.t
+(** [{rounds, completion_round, informed, population, push_tx, pull_tx,
+     channels, success}]. The [knows] array and the trace are omitted —
+    per-node payload delivery is not telemetry; use {!trace_ndjson} for
+    per-round dumps. *)
+
+val trace_row : Rumor_sim.Trace.row -> Json.t
+(** One per-round record
+    [{round, informed, newly, push_tx, pull_tx, channels}]. *)
+
+val trace_ndjson : Rumor_sim.Trace.t -> string
+(** Newline-delimited JSON, one {!trace_row} per line — the streaming
+    format (ndjson / JSON Lines) plotting pipelines ingest directly. *)
+
+val float_list : float list -> Json.t
+val int_list : int list -> Json.t

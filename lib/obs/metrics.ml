@@ -1,0 +1,69 @@
+type span = {
+  wall_s : float;
+  cpu_s : float;
+  minor_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+  compactions : int;
+  top_heap_words : int;
+}
+
+let timed f =
+  let g0 = Gc.quick_stat () in
+  let cpu0 = Sys.time () in
+  let wall0 = Unix.gettimeofday () in
+  let result = f () in
+  let wall1 = Unix.gettimeofday () in
+  let cpu1 = Sys.time () in
+  let g1 = Gc.quick_stat () in
+  ( result,
+    {
+      wall_s = wall1 -. wall0;
+      cpu_s = cpu1 -. cpu0;
+      minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+      major_words = g1.Gc.major_words -. g0.Gc.major_words;
+      minor_collections = g1.Gc.minor_collections - g0.Gc.minor_collections;
+      major_collections = g1.Gc.major_collections - g0.Gc.major_collections;
+      compactions = g1.Gc.compactions - g0.Gc.compactions;
+      top_heap_words = g1.Gc.top_heap_words;
+    } )
+
+let span_to_json s =
+  Json.Obj
+    [
+      ("wall_s", Json.Float s.wall_s);
+      ("cpu_s", Json.Float s.cpu_s);
+      ( "gc",
+        Json.Obj
+          [
+            ("minor_words", Json.Float s.minor_words);
+            ("major_words", Json.Float s.major_words);
+            ("minor_collections", Json.Int s.minor_collections);
+            ("major_collections", Json.Int s.major_collections);
+            ("compactions", Json.Int s.compactions);
+            ("top_heap_words", Json.Int s.top_heap_words);
+          ] );
+    ]
+
+type counters = (string, int ref) Hashtbl.t
+
+let counters () : counters = Hashtbl.create 16
+
+let cell t name =
+  match Hashtbl.find_opt t name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add t name r;
+      r
+
+let add t name k = cell t name := !(cell t name) + k
+let incr t name = add t name 1
+let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+
+let counters_to_json t =
+  let fields =
+    Hashtbl.fold (fun name r acc -> (name, Json.Int !r) :: acc) t []
+  in
+  Json.Obj (List.sort (fun (a, _) (b, _) -> String.compare a b) fields)

@@ -1,0 +1,38 @@
+(** Wall-clock / CPU timers, GC deltas and named counters.
+
+    One {!span} captures everything a bench record needs about the cost
+    of a measured region: elapsed wall time ([Unix.gettimeofday]),
+    elapsed process CPU time ([Sys.time]) and the [Gc.quick_stat]
+    deltas across the region (words allocated, minor/major collections,
+    heap growth). *)
+
+type span = {
+  wall_s : float;  (** elapsed wall-clock seconds *)
+  cpu_s : float;  (** elapsed process CPU seconds *)
+  minor_words : float;  (** words allocated in the minor heap *)
+  major_words : float;  (** words allocated in (or promoted to) the major heap *)
+  minor_collections : int;
+  major_collections : int;
+  compactions : int;
+  top_heap_words : int;  (** high-water heap mark at the end of the span *)
+}
+
+val timed : (unit -> 'a) -> 'a * span
+(** Run a thunk and measure it. Exceptions propagate unmeasured. *)
+
+val span_to_json : span -> Json.t
+(** Flat object: [wall_s], [cpu_s] and a nested [gc] object. *)
+
+(** Named monotonic counters, for instrumenting code that has no
+    natural return value to thread measurements through. *)
+type counters
+
+val counters : unit -> counters
+val incr : counters -> string -> unit
+val add : counters -> string -> int -> unit
+val get : counters -> string -> int
+(** 0 for a name never incremented. *)
+
+val counters_to_json : counters -> Json.t
+(** Object with one integer field per counter, in name order
+    (deterministic output for golden tests and diffs). *)

@@ -13,6 +13,7 @@ let index t x =
   if raw < 0 then 0 else if raw >= bins then bins - 1 else raw
 
 let add t x =
+  if not (Float.is_finite x) then invalid_arg "Histogram.add: non-finite sample";
   let i = index t x in
   t.cells.(i) <- t.cells.(i) + 1;
   t.total <- t.total + 1

@@ -8,7 +8,10 @@ val create : lo:float -> hi:float -> bins:int -> t
     @raise Invalid_argument if [bins < 1] or [hi <= lo]. *)
 
 val add : t -> float -> unit
-(** Record one observation. *)
+(** Record one observation.
+    @raise Invalid_argument on a NaN or infinite sample — [int_of_float]
+    on a non-finite value is undefined, so it would otherwise be
+    silently misfiled. *)
 
 val count : t -> int
 (** Total observations recorded. *)

@@ -26,7 +26,7 @@ let of_array sample =
   let n = Array.length sample in
   if n = 0 then invalid_arg "Summary.of_array: empty sample";
   let sorted = Array.copy sample in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let sum = Array.fold_left ( +. ) 0. sorted in
   let mean = sum /. float_of_int n in
   let sq =

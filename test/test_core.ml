@@ -57,7 +57,10 @@ let test_schedule_small () =
   Alcotest.(check int) "p1 = ceil(log n)" 16 s.Phase.p1_end;
   Alcotest.(check int) "p2 = p1 + ceil(log log n)" 20 s.Phase.p2_end;
   Alcotest.(check int) "p3 is one round" 21 s.Phase.p3_end;
-  Alcotest.(check int) "last = 2 log n + log log n" 36 s.Phase.last
+  (* Phase 4 is exactly ceil(alpha log n) = 16 rounds after the pull
+     round: 21 + 16 = 37 (not the old 2*ceil(a lg) + ceil(a llg) = 36,
+     which undercounted by the ceiling interaction). *)
+  Alcotest.(check int) "last = p3 + ceil(log n)" 37 s.Phase.last
 
 let test_schedule_large () =
   let p = Params.make ~alpha:1.0 ~n_estimate:65536 ~d:32 () in
@@ -96,8 +99,8 @@ let test_phase_of () =
   check 20 Phase.Phase2;
   check 21 Phase.Phase3;
   check 22 Phase.Phase4;
-  check 36 Phase.Phase4;
-  check 37 Phase.Finished
+  check 37 Phase.Phase4;
+  check 38 Phase.Finished
 
 let test_phase_of_large () =
   let p = Params.make ~alpha:1.0 ~n_estimate:65536 ~d:32 () in
@@ -441,6 +444,35 @@ let prop_phase_of_total =
       done;
       !ok)
 
+let prop_phase_lengths_match_paper =
+  (* The paper's formulas, checked length by length: phase 1 is
+     ceil(a lg n) rounds, phase 2 is ceil(a(lg+llg)) - ceil(a lg),
+     phase 3 is one round (Small), phase 4 is exactly ceil(a lg n)
+     further rounds; Large runs ~2a llg pull rounds after phase 2,
+     up to ceiling slack. *)
+  QCheck.Test.make ~count:200 ~name:"phase lengths match the paper's formulas"
+    QCheck.(pair (int_range 4 10_000_000) (int_range 1 16))
+    (fun (n_estimate, alpha_quarters) ->
+      let alpha = float_of_int alpha_quarters /. 4. in
+      let p = Params.make ~alpha ~n_estimate ~d:6 () in
+      let lg = Params.log2 (float_of_int n_estimate) in
+      let llg = Params.loglog p in
+      let ceil_i x = int_of_float (ceil x) in
+      let s = Phase.schedule p Phase.Small in
+      let small_ok =
+        s.Phase.p1_end = ceil_i (alpha *. lg)
+        && s.Phase.p2_end = ceil_i (alpha *. (lg +. llg))
+        && s.Phase.p3_end = s.Phase.p2_end + 1
+        && s.Phase.last - s.Phase.p3_end = ceil_i (alpha *. lg)
+      in
+      let l = Phase.schedule p Phase.Large in
+      let pull_len = l.Phase.last - l.Phase.p2_end in
+      let large_ok =
+        l.Phase.last = l.Phase.p3_end
+        && abs_float (float_of_int pull_len -. (alpha *. llg)) <= 2.
+      in
+      small_ok && large_ok)
+
 let prop_algorithm_decide_never_pushes_and_pulls =
   QCheck.Test.make ~count:100 ~name:"algorithm never pushes and pulls together"
     QCheck.(triple (int_range 4 100000) (int_range 0 60) (int_range 1 60))
@@ -454,6 +486,7 @@ let qcheck_cases =
     [
       prop_schedule_scales_with_alpha;
       prop_phase_of_total;
+      prop_phase_lengths_match_paper;
       prop_algorithm_decide_never_pushes_and_pulls;
     ]
 

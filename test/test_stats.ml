@@ -96,6 +96,29 @@ let test_histogram_validation () =
   Alcotest.check_raises "bad range" (Invalid_argument "Histogram.create: hi <= lo")
     (fun () -> ignore (Histogram.create ~lo:1. ~hi:1. ~bins:3))
 
+let test_histogram_rejects_non_finite () =
+  let h = Histogram.create ~lo:0. ~hi:1. ~bins:2 in
+  let reject x =
+    Alcotest.check_raises "non-finite"
+      (Invalid_argument "Histogram.add: non-finite sample") (fun () ->
+        Histogram.add h x)
+  in
+  reject Float.nan;
+  reject Float.infinity;
+  reject Float.neg_infinity;
+  Alcotest.(check int) "nothing recorded" 0 (Histogram.count h)
+
+let test_summary_nan_ordering () =
+  (* Float.compare sorts NaN below every number, so the finite order
+     statistics of a NaN-free sample are unaffected by the sort being
+     total — and a NaN sample cannot silently scramble the array the
+     way polymorphic compare could. *)
+  let s = Summary.of_list [ 3.; 1.; 2. ] in
+  checkf "min" 1. s.Summary.min;
+  checkf "max" 3. s.Summary.max;
+  let with_nan = Summary.of_list [ 2.; Float.nan; 1. ] in
+  checkf "nan sorts first" 2. with_nan.Summary.max
+
 let test_histogram_pp () =
   let h = Histogram.create ~lo:0. ~hi:1. ~bins:2 in
   Histogram.add h 0.25;
@@ -285,6 +308,7 @@ let () =
           Alcotest.test_case "of_ints" `Quick test_summary_of_ints;
           Alcotest.test_case "percentile" `Quick test_percentile;
           Alcotest.test_case "ci shrinks" `Quick test_ci_shrinks;
+          Alcotest.test_case "nan ordering" `Quick test_summary_nan_ordering;
           Alcotest.test_case "pp" `Quick test_summary_pp;
         ] );
       ( "histogram",
@@ -293,6 +317,8 @@ let () =
           Alcotest.test_case "clamping" `Quick test_histogram_clamping;
           Alcotest.test_case "bounds" `Quick test_histogram_bounds;
           Alcotest.test_case "validation" `Quick test_histogram_validation;
+          Alcotest.test_case "rejects non-finite" `Quick
+            test_histogram_rejects_non_finite;
           Alcotest.test_case "pp" `Quick test_histogram_pp;
         ] );
       ( "regression",
