@@ -655,63 +655,147 @@ let e7 () =
   Table.print t2
 
 (* ------------------------------------------------------------------ *)
-(* E8: churn during broadcast.                                         *)
+(* E8: the self-healing frontier (fault x churn, repair on/off).       *)
 (* ------------------------------------------------------------------ *)
 
 let e8 () =
-  section "E8" "broadcast under P2P churn (Section 1 motivation)";
-  let n = if !quick then 4096 else 16384 in
+  section "E8"
+    "self-healing frontier: fault x churn grid, repair epochs on/off";
+  let n = if !quick then 2048 else 8192 in
   let d = 8 in
+  let faults =
+    [
+      ("none", Fault.none);
+      ( "burst 0.2 + crash",
+        Fault.plan
+          ~burst:(Fault.burst ~loss:0.2 ~burst_len:4.)
+          ~crash_rate:0.01 ~recover_rate:0.25 () );
+      ( "burst 0.3 + crash",
+        Fault.plan
+          ~burst:(Fault.burst ~loss:0.3 ~burst_len:6.)
+          ~crash_rate:0.01 ~recover_rate:0.25 () );
+    ]
+  in
+  let churn_rates = [ 0.; 0.005; 0.02 ] in
+  let config = Rumor_core.Repair.config ~n () in
+  let run_cell ~fault ~ops_per_round ~with_repair rng =
+    let g = Regular.sample_connected ~rng ~n ~d Regular.Pairing in
+    let o = Overlay.of_graph ~capacity:(2 * n) g in
+    let protocol = Algorithm.make (Params.make ~alpha:2.0 ~n_estimate:n ~d ()) in
+    let joined = ref [] in
+    let on_round_end _ =
+      for _ = 1 to ops_per_round do
+        let ev = Churn.session o ~rng ~d ~join_prob:0.5 ~leave_prob:0.5 () in
+        match ev.Churn.joined with
+        | Some v -> joined := v :: !joined
+        | None -> ()
+      done
+    in
+    let reset () =
+      let l = !joined in
+      joined := [];
+      l
+    in
+    let topology = Overlay.to_topology o in
+    if with_repair then
+      Rumor_core.Repair.self_heal ~fault ~config ~reset ~on_round_end ~rng
+        ~topology ~protocol ~sources:[ 0 ] ()
+    else
+      Engine.run ~fault ~forget_on_recover:true ~reset ~on_round_end ~rng
+        ~topology ~protocol ~sources:[ 0 ] ()
+  in
   let t =
     Table.create
       ~columns:
         [
+          ("fault", Table.Left);
           ("churn/round", Table.Right);
-          ("coverage", Table.Right);
-          ("tx/node", Table.Right);
-          ("final pop", Table.Right);
+          ("cov (bare)", Table.Right);
+          ("cov (repair)", Table.Right);
+          ("epochs", Table.Right);
+          ("repair tx/node", Table.Right);
+          ("extinct", Table.Right);
         ]
   in
   List.iteri
-    (fun i rate ->
-      let ops_per_round = int_of_float (rate *. fin n) in
-      let results =
-        Experiment.replicate_parallel ~domains:4 ~seed:(1000 + i) ~reps:(reps ()) (fun rng ->
-            let g = Regular.sample_connected ~rng ~n ~d Regular.Pairing in
-            let o = Overlay.of_graph ~capacity:(2 * n) g in
-            let protocol =
-              Algorithm.make (Params.make ~alpha:2.0 ~n_estimate:n ~d ())
-            in
-            Engine.run ~rng
-              ~on_round_end:(fun _ ->
-                for _ = 1 to ops_per_round do
-                  Churn.session o ~rng ~d ~join_prob:0.5 ~leave_prob:0.5 ()
-                done)
-              ~topology:(Overlay.to_topology o)
-              ~protocol ~sources:[ 0 ] ())
-      in
-      let coverage =
-        Summary.of_list
-          (List.map
-             (fun r -> fin r.Engine.informed /. fin r.Engine.population)
-             results)
-      in
-      let tx =
-        Summary.of_list
-          (List.map (fun r -> fin (Engine.transmissions r) /. fin n) results)
-      in
-      let pop =
-        Summary.of_list (List.map (fun r -> fin r.Engine.population) results)
-      in
-      Table.add_row t
-        [
-          Printf.sprintf "%.3f n" rate;
-          Printf.sprintf "%.4f" coverage.Summary.mean;
-          Printf.sprintf "%.1f" tx.Summary.mean;
-          Printf.sprintf "%.0f" pop.Summary.mean;
-        ])
-    [ 0.; 0.001; 0.005; 0.02 ];
-  Table.print t
+    (fun i (fault_label, fault) ->
+      List.iteri
+        (fun j rate ->
+          let ops_per_round = int_of_float (rate *. fin n) in
+          let seed = 1000 + (10 * i) + j in
+          let cell with_repair =
+            Experiment.replicate_parallel ~domains:4 ~seed ~reps:(reps ())
+              (run_cell ~fault ~ops_per_round ~with_repair)
+          in
+          (* Same seeds for both arms: the repair column answers "what
+             did the epochs add" on identical storms. *)
+          let bare = cell false in
+          let healed = cell true in
+          (* A crashed-with-amnesia source can kill the rumor before it
+             spreads; with no live knower left, no protocol can recover
+             it, so extinct seeds are counted apart instead of dragging
+             the repair coverage below a reachable target. *)
+          let survivors = List.filter (fun r -> r.Engine.informed > 0) healed in
+          let extinct = List.length healed - List.length survivors in
+          let coverage rs = List.map Engine.coverage rs in
+          let cov_bare = Summary.of_list (coverage bare) in
+          let cov_healed =
+            Summary.of_list
+              (if survivors = [] then [ 0. ] else coverage survivors)
+          in
+          let epochs =
+            Summary.of_list
+              (match survivors with
+              | [] -> [ 0. ]
+              | rs -> List.map (fun r -> fin (Engine.epochs_used r)) rs)
+          in
+          let repair_tx =
+            Summary.of_list
+              (match survivors with
+              | [] -> [ 0. ]
+              | rs -> List.map (fun r -> fin (Engine.repair_tx r) /. fin n) rs)
+          in
+          record_point
+            (Json.Obj
+               [
+                 ("fault", Json.String fault_label);
+                 ("churn_rate", Json.Float rate);
+                 ("coverage_bare", Encode.summary cov_bare);
+                 ("coverage_repair", Encode.summary cov_healed);
+                 ("epochs_used", Encode.summary epochs);
+                 ("repair_tx_per_node", Encode.summary repair_tx);
+                 ("extinct_seeds", Json.Int extinct);
+                 ( "per_seed",
+                   Json.Obj
+                     [
+                       ("coverage_bare", Encode.float_list (coverage bare));
+                       ("coverage_repair", Encode.float_list (coverage healed));
+                       ( "epochs_used",
+                         Encode.float_list
+                           (List.map (fun r -> fin (Engine.epochs_used r)) healed)
+                       );
+                     ] );
+               ]);
+          Table.add_row t
+            [
+              fault_label;
+              Printf.sprintf "%.3f n" rate;
+              Printf.sprintf "%.4f" cov_bare.Summary.mean;
+              Printf.sprintf "%.4f" cov_healed.Summary.mean;
+              Printf.sprintf "%.1f" epochs.Summary.mean;
+              Printf.sprintf "%.2f" repair_tx.Summary.mean;
+              string_of_int extinct;
+            ])
+        churn_rates)
+    faults;
+  Table.print t;
+  print_endline
+    "(bare = engine stops when informed nodes go quiescent; repair = bounded\n\
+    \ pull-timeout/backoff epochs afterwards, averaged over seeds where the\n\
+    \ rumor survived. The repair column should sit at 1.0000 with a few\n\
+    \ epochs and O(1) extra transmissions per node; extinct counts seeds\n\
+    \ where crash amnesia killed every copy before it spread — unrecoverable\n\
+    \ by any protocol.)"
 
 (* ------------------------------------------------------------------ *)
 (* E9: replicated database maintenance.                                *)

@@ -5,6 +5,7 @@
      broadcast   run one broadcast and report time/transmissions
      sweep       repeat a broadcast over sizes and seeds, print a table
      churn       broadcast over a dynamic overlay with join/leave
+     heal        self-healing broadcast under a hostile fault+churn plan
      bench-check validate a BENCH_*.json telemetry file
 
    broadcast, sweep and robustness take --json to emit one structured
@@ -330,7 +331,7 @@ let churn seed n d rate =
     Engine.run ~rng
       ~on_round_end:(fun _ ->
         for _ = 1 to ops do
-          Churn.session o ~rng ~d ~join_prob:0.5 ~leave_prob:0.5 ()
+          ignore (Churn.session o ~rng ~d ~join_prob:0.5 ~leave_prob:0.5 ())
         done)
       ~topology:(Overlay.to_topology o)
       ~protocol:(Algorithm.make params) ~sources:[ 0 ] ()
@@ -663,6 +664,193 @@ let robustness_cmd =
       const robustness $ seed_arg $ robust_n_arg $ d_arg $ robust_alpha_arg
       $ reps_arg $ burst_len_arg $ use_estimator_arg $ json_arg)
 
+(* --- heal (self-healing broadcast) --- *)
+
+let prob_arg ~names ~default ~docv ~doc =
+  Arg.(value & opt float default & info names ~docv ~doc)
+
+let burst_loss_arg =
+  prob_arg ~names:[ "burst-loss" ] ~default:0.2 ~docv:"P"
+    ~doc:"Stationary Gilbert-Elliott loss rate (0 disables bursts)."
+
+let crash_rate_arg =
+  prob_arg ~names:[ "crash-rate" ] ~default:0.01 ~docv:"P"
+    ~doc:"Per-node per-round crash probability."
+
+let recover_rate_arg =
+  prob_arg ~names:[ "recover-rate" ] ~default:0.25 ~docv:"P"
+    ~doc:"Per-crashed-node per-round recovery probability."
+
+let join_prob_arg =
+  prob_arg ~names:[ "join-prob" ] ~default:0.02 ~docv:"P"
+    ~doc:"Per-round probability that a fresh peer joins the overlay."
+
+let leave_prob_arg =
+  prob_arg ~names:[ "leave-prob" ] ~default:0.02 ~docv:"P"
+    ~doc:"Per-round probability that a random peer leaves the overlay."
+
+let repair_timeout_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "timeout" ] ~docv:"T"
+        ~doc:"Silent rounds before an uninformed node starts pulling.")
+
+let repair_backoff_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "backoff" ] ~docv:"W"
+        ~doc:"Cap (rounds) of the randomized exponential pull backoff.")
+
+let max_epochs_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "max-epochs" ] ~docv:"E" ~doc:"Repair epoch budget.")
+
+let no_repair_arg =
+  Arg.(
+    value & flag
+    & info [ "no-repair" ]
+        ~doc:
+          "Run the same hostile scenario without repair epochs — exposes the \
+           uninformed nodes self-healing would have fixed.")
+
+let heal seed n d alpha burst_loss burst_len crash_rate recover_rate join_prob
+    leave_prob timeout backoff max_epochs no_repair json =
+  let check_prob name p =
+    if p < 0. || p > 1. then begin
+      Printf.eprintf "rumor: --%s must be in [0, 1]\n" name;
+      exit 2
+    end
+  in
+  check_prob "crash-rate" crash_rate;
+  check_prob "recover-rate" recover_rate;
+  check_prob "join-prob" join_prob;
+  check_prob "leave-prob" leave_prob;
+  if burst_loss < 0. || burst_loss >= 1. then begin
+    prerr_endline "rumor: --burst-loss must be in [0, 1)";
+    exit 2
+  end;
+  if backoff < 1 || timeout < 0 || max_epochs < 0 then begin
+    prerr_endline
+      "rumor: --backoff must be >= 1, --timeout and --max-epochs >= 0";
+    exit 2
+  end;
+  let rng = Rng.create seed in
+  let g = Regular.sample_connected ~rng ~n ~d Regular.Pairing in
+  let o = Overlay.of_graph ~capacity:(2 * n) g in
+  let fault =
+    let burst =
+      if burst_loss > 0. then
+        Some (Fault.burst ~loss:burst_loss ~burst_len)
+      else None
+    in
+    Fault.plan ?burst ~crash_rate ~recover_rate ()
+  in
+  let protocol = Algorithm.make (Params.make ~alpha ~n_estimate:n ~d ()) in
+  (* Joins during the main schedule may recycle ids of departed peers;
+     the engine's reset hook restarts them uninformed. *)
+  let joined = ref [] in
+  let on_round_end _ =
+    let ev = Churn.session o ~rng ~d ~join_prob ~leave_prob () in
+    match ev.Churn.joined with
+    | Some v -> joined := v :: !joined
+    | None -> ()
+  in
+  let reset () =
+    let l = !joined in
+    joined := [];
+    l
+  in
+  let config =
+    Rumor_core.Repair.config ~timeout ~backoff_cap:backoff ~max_epochs ~n ()
+  in
+  let res, span =
+    Obs_metrics.timed (fun () ->
+        if no_repair then
+          Engine.run ~fault ~forget_on_recover:true ~reset ~on_round_end ~rng
+            ~topology:(Overlay.to_topology o) ~protocol ~sources:[ 0 ] ()
+        else
+          Rumor_core.Repair.self_heal ~fault ~config ~reset ~on_round_end ~rng
+            ~topology:(Overlay.to_topology o) ~protocol ~sources:[ 0 ] ())
+  in
+  if json then
+    print_endline
+      (Json.to_string ~minify:false
+         (Json.Obj
+            [
+              ("command", Json.String "heal");
+              ("seed", Json.Int seed);
+              ("n", Json.Int n);
+              ("d", Json.Int d);
+              ("alpha", Json.Float alpha);
+              ("burst_loss", Json.Float burst_loss);
+              ("burst_len", Json.Float burst_len);
+              ("crash_rate", Json.Float crash_rate);
+              ("recover_rate", Json.Float recover_rate);
+              ("join_prob", Json.Float join_prob);
+              ("leave_prob", Json.Float leave_prob);
+              ("repair", Json.Bool (not no_repair));
+              ("repair_timeout", Json.Int timeout);
+              ("repair_backoff", Json.Int backoff);
+              ("max_epochs", Json.Int max_epochs);
+              ("coverage", Json.Float (Engine.coverage res));
+              ("epochs_used", Json.Int (Engine.epochs_used res));
+              ("repair_tx", Json.Int (Engine.repair_tx res));
+              ("result", Encode.engine_result res);
+              ("metrics", Obs_metrics.span_to_json span);
+            ]))
+  else begin
+    Printf.printf "repair            %s\n"
+      (if no_repair then "off"
+       else
+         Printf.sprintf "timeout %d, backoff cap %d, max %d epochs" timeout
+           backoff max_epochs);
+    Printf.printf "final population  %d\n" res.Engine.population;
+    Printf.printf "informed          %d (coverage %.4f%s)\n" res.Engine.informed
+      (Engine.coverage res)
+      (if Engine.success res then ", complete" else ", INCOMPLETE");
+    Printf.printf "epochs used       %d\n" (Engine.epochs_used res);
+    List.iter
+      (fun e ->
+        Printf.printf
+          "  epoch %d: %d rounds, coverage %.4f, %d pull tx (%.2f per node)\n"
+          e.Engine.epoch e.Engine.epoch_rounds
+          (if e.Engine.epoch_population = 0 then 0.
+           else
+             float_of_int e.Engine.epoch_informed
+             /. float_of_int e.Engine.epoch_population)
+          e.Engine.repair_pull_tx
+          (float_of_int (e.Engine.repair_push_tx + e.Engine.repair_pull_tx)
+          /. float_of_int (max 1 e.Engine.epoch_population)))
+      res.Engine.repair;
+    Printf.printf "repair overhead   %d tx (%.2f per node)\n"
+      (Engine.repair_tx res)
+      (float_of_int (Engine.repair_tx res)
+      /. float_of_int (max 1 res.Engine.population));
+    Printf.printf "transmissions     %d (%.2f per node)\n"
+      (Engine.transmissions res)
+      (float_of_int (Engine.transmissions res)
+      /. float_of_int (max 1 res.Engine.population));
+    Printf.printf "overlay invariant %b\n" (Overlay.invariant o)
+  end;
+  if Engine.success res then 0 else 1
+
+let heal_cmd =
+  let info =
+    Cmd.info "heal"
+      ~doc:
+        "Self-healing broadcast: run the paper's algorithm under a hostile \
+         plan (bursty loss, crash/recovery, churn), then repair epochs \
+         (pull-timeout with randomized backoff) until every live peer is \
+         informed or the epoch budget runs out."
+  in
+  Cmd.v info
+    Term.(
+      const heal $ seed_arg $ robust_n_arg $ d_arg $ robust_alpha_arg
+      $ burst_loss_arg $ burst_len_arg $ crash_rate_arg $ recover_rate_arg
+      $ join_prob_arg $ leave_prob_arg $ repair_timeout_arg
+      $ repair_backoff_arg $ max_epochs_arg $ no_repair_arg $ json_arg)
+
 (* --- run (scenario files) --- *)
 
 let scenario_file_arg =
@@ -786,5 +974,6 @@ let () =
             estimate_cmd;
             run_cmd;
             robustness_cmd;
+            heal_cmd;
             bench_check_cmd;
           ]))

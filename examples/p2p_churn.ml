@@ -33,7 +33,7 @@ let () =
   for epoch = 1 to 10 do
     (* A burst of churn: ~2% of the population joins, ~2% leaves. *)
     for _ = 1 to Overlay.node_count overlay / 50 do
-      Churn.session overlay ~rng ~d ~join_prob:1.0 ~leave_prob:1.0 ()
+      ignore (Churn.session overlay ~rng ~d ~join_prob:1.0 ~leave_prob:1.0 ())
     done;
     (* Re-randomise with the local switch Markov chain [16,29]. *)
     Switcher.scramble overlay ~rng ~passes:2;
@@ -48,7 +48,7 @@ let () =
     let res =
       Engine.run ~rng
         ~on_round_end:(fun _ ->
-          Churn.session overlay ~rng ~d ~join_prob:0.3 ~leave_prob:0.3 ())
+          ignore (Churn.session overlay ~rng ~d ~join_prob:0.3 ~leave_prob:0.3 ()))
         ~topology:(Overlay.to_topology overlay)
         ~protocol ~sources:[ source ] ()
     in

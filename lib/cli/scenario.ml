@@ -6,6 +6,7 @@ module Params = Rumor_core.Params
 module Algorithm = Rumor_core.Algorithm
 module Baselines = Rumor_core.Baselines
 module Run_ = Rumor_core.Run
+module Repair = Rumor_core.Repair
 module Summary = Rumor_stats.Summary
 module Experiment = Rumor_stats.Experiment
 
@@ -27,6 +28,9 @@ type t = {
   crash_count : int;
   crash_round : int;
   n_error : float;
+  repair_timeout : int;
+  repair_backoff : int;
+  max_epochs : int;
   reps : int;
 }
 
@@ -49,6 +53,9 @@ let default =
     crash_count = 0;
     crash_round = 1;
     n_error = 1.;
+    repair_timeout = 2;
+    repair_backoff = 8;
+    max_epochs = 0;
     reps = 5;
   }
 
@@ -168,6 +175,18 @@ let parse text =
                   parse_float line value (fun x ->
                       if x <= 0. then err line "n_error must be positive"
                       else continue { acc with n_error = x })
+              | "repair_timeout" ->
+                  parse_int line value (fun x ->
+                      if x < 0 then err line "repair_timeout must be >= 0"
+                      else continue { acc with repair_timeout = x })
+              | "repair_backoff" ->
+                  parse_int line value (fun x ->
+                      if x < 1 then err line "repair_backoff must be >= 1"
+                      else continue { acc with repair_backoff = x })
+              | "max_epochs" ->
+                  parse_int line value (fun x ->
+                      if x < 0 then err line "max_epochs must be >= 0"
+                      else continue { acc with max_epochs = x })
               | "reps" ->
                   parse_int line value (fun x ->
                       if x < 1 then err line "reps must be >= 1"
@@ -249,11 +268,21 @@ type report = {
   coverage : Summary.t;
   tx_per_node : Summary.t;
   rounds : Summary.t;
+  epochs : Summary.t;
+  repair_tx_per_node : Summary.t;
 }
 
 let run scenario =
   let fault = fault_plan scenario in
   let stop = scenario.protocol <> "bef" && scenario.protocol <> "bef-seq" in
+  let repair_config =
+    if scenario.max_epochs > 0 then
+      Some
+        (Repair.config ~timeout:scenario.repair_timeout
+           ~backoff_cap:(max scenario.repair_backoff 1)
+           ~max_epochs:scenario.max_epochs ~n:scenario.n ())
+    else None
+  in
   let protocol_name = ref "" in
   let results =
     Experiment.replicate ~seed:scenario.seed ~reps:scenario.reps (fun rng ->
@@ -270,8 +299,13 @@ let run scenario =
             ~d:scenario.d ~alpha:scenario.alpha ~fanout:scenario.fanout ()
         in
         protocol_name := p.Rumor_sim.Protocol.name;
-        Run_.once ~fault ~stop_when_complete:stop ~rng ~graph:g ~protocol:p
-          ~source:(Run_.random_source rng g) ())
+        let source = Run_.random_source rng g in
+        match repair_config with
+        | Some config ->
+            Repair.heal ~fault ~config ~rng ~graph:g ~protocol:p ~source ()
+        | None ->
+            Run_.once ~fault ~stop_when_complete:stop ~rng ~graph:g ~protocol:p
+              ~source ())
   in
   let of_metric f = Summary.of_list (List.map f results) in
   {
@@ -287,6 +321,13 @@ let run scenario =
       of_metric (fun r ->
           float_of_int (Engine.transmissions r) /. float_of_int r.Engine.population);
     rounds = of_metric (fun r -> float_of_int r.Engine.rounds);
+    epochs = of_metric (fun r -> float_of_int (Engine.epochs_used r));
+    repair_tx_per_node =
+      of_metric (fun r ->
+          if r.Engine.population = 0 then 0.
+          else
+            float_of_int (Engine.repair_tx r)
+            /. float_of_int r.Engine.population);
   }
 
 let pp_report ppf r =
@@ -304,8 +345,18 @@ let pp_report ppf r =
     Buffer.add_string faults
       (Printf.sprintf ", strike %s x%d @ round %d" s.crash_adversary
          s.crash_count s.crash_round);
+  let repair = Buffer.create 64 in
+  if s.max_epochs > 0 then
+    Buffer.add_string repair
+      (Printf.sprintf "timeout %d, backoff cap %d, max epochs %d"
+         s.repair_timeout s.repair_backoff s.max_epochs)
+  else Buffer.add_string repair "off";
   Format.fprintf ppf
-    "@[<v>protocol    %s@,topology    %s (n=%d, d=%d)@,faults      %s@,n estimate  %.2f x n@,reps        %d (seed %d)@,success     %.0f%%@,coverage    %a@,tx/node     %a@,rounds      %a@]"
-    r.protocol_name s.topology s.n s.d (Buffer.contents faults) s.n_error
-    s.reps s.seed (100. *. r.success_rate) Summary.pp r.coverage Summary.pp
-    r.tx_per_node Summary.pp r.rounds
+    "@[<v>protocol    %s@,topology    %s (n=%d, d=%d)@,faults      %s@,repair      %s@,n estimate  %.2f x n@,reps        %d (seed %d)@,success     %.0f%%@,coverage    %a@,tx/node     %a@,rounds      %a"
+    r.protocol_name s.topology s.n s.d (Buffer.contents faults)
+    (Buffer.contents repair) s.n_error s.reps s.seed (100. *. r.success_rate)
+    Summary.pp r.coverage Summary.pp r.tx_per_node Summary.pp r.rounds;
+  if s.max_epochs > 0 then
+    Format.fprintf ppf "@,epochs      %a@,repair tx/n %a" Summary.pp r.epochs
+      Summary.pp r.repair_tx_per_node;
+  Format.fprintf ppf "@]"

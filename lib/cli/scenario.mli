@@ -24,6 +24,13 @@
     protocol is built with [n_estimate = n_error * n], testing the
     constant-factor-estimate claim).
 
+    Self-healing keys enable {!Rumor_core.Repair} epochs after the main
+    schedule: [max_epochs] (0, the default, disables repair),
+    [repair_timeout] (silent rounds before an uninformed node pulls)
+    and [repair_backoff] (randomized-backoff window cap). With repair
+    on, runs use recovery amnesia (crash-recovered nodes restart
+    uninformed) and the report gains epoch/overhead summaries.
+
     Unknown keys, duplicate keys, malformed values and out-of-range
     parameters are rejected with a line-numbered message. The CLI's
     [run] subcommand executes scenario files; the module is also the
@@ -48,6 +55,10 @@ type t = {
   crash_count : int;  (** nodes killed by the one-shot strike *)
   crash_round : int;  (** round at which the strike lands *)
   n_error : float;  (** n_estimate = n_error * n *)
+  repair_timeout : int;
+      (** silent rounds before an uninformed node starts pulling *)
+  repair_backoff : int;  (** backoff window cap for repair pulls, rounds *)
+  max_epochs : int;  (** repair epoch budget; 0 disables self-healing *)
   reps : int;
 }
 
@@ -86,6 +97,10 @@ type report = {
   coverage : Rumor_stats.Summary.t;
   tx_per_node : Rumor_stats.Summary.t;
   rounds : Rumor_stats.Summary.t;
+  epochs : Rumor_stats.Summary.t;
+      (** repair epochs consumed per rep (all zero with repair off) *)
+  repair_tx_per_node : Rumor_stats.Summary.t;
+      (** transmissions spent inside repair epochs, per live node *)
 }
 
 val run : t -> report

@@ -1,0 +1,106 @@
+(** Self-healing repair epochs: pull-timeout with randomized backoff.
+
+    The main algorithm ({!Algorithm}) is fast but fragile at the tail:
+    a node that joins mid-broadcast, recovers from a crash after the
+    wave passes, or loses every delivery to a bad burst stays
+    uninformed forever once the informed nodes go quiescent. This
+    module supplies the cheap steady-state layer that closes the gap —
+    Demers-style anti-entropy in the address-oblivious spirit of
+    Avin–Elsässer: after the main schedule, bounded {e repair epochs}
+    run in which
+
+    - uninformed nodes that have sat through [timeout] silent rounds
+      open a single pull channel to a uniformly random neighbour, and
+      on failure retry after a randomized exponentially growing gap
+      (jitter drawn from [Rumor_rng], capped at [backoff_cap]);
+    - informed nodes initiate nothing but answer pulls, aging out after
+      a [quiescence] budget of rounds.
+
+    Each epoch costs [O(u)] pull attempts for [u] uninformed nodes plus
+    their answers — [O(n)] transmissions per epoch in the worst case —
+    and epochs repeat until every live node is covered or [max_epochs]
+    is exhausted (see {!Rumor_sim.Engine.run_epochs}). *)
+
+type config = {
+  timeout : int;  (** silent rounds an uninformed node waits before pulling *)
+  backoff_base : int;  (** initial backoff window, in rounds (>= 1) *)
+  backoff_cap : int;  (** backoff window ceiling (>= [backoff_base]) *)
+  quiescence : int;  (** rounds an informed node keeps answering pulls *)
+  epoch_rounds : int;  (** horizon of one repair epoch *)
+  max_epochs : int;  (** epoch budget for a healing run *)
+}
+
+val config :
+  ?timeout:int ->
+  ?backoff_base:int ->
+  ?backoff_cap:int ->
+  ?quiescence:int ->
+  ?epoch_rounds:int ->
+  ?max_epochs:int ->
+  n:int ->
+  unit ->
+  config
+(** [config ~n ()] builds a validated configuration with network-size
+    aware defaults: [timeout = 2], [backoff_base = 1], [backoff_cap =
+    8], [epoch_rounds = max 8 (2 ceil_log2 n)], [quiescence =
+    epoch_rounds], [max_epochs = 8].
+    @raise Invalid_argument on non-positive or inconsistent values. *)
+
+val protocol : config -> unit Rumor_sim.Protocol.t
+(** The per-epoch protocol: informed nodes push never, answer pulls
+    while [round <= quiescence], and are quiescent afterwards; horizon
+    is [epoch_rounds]. Pair it with the gate from {!strategy} — without
+    a gate every node (informed included) would open channels each
+    round. *)
+
+val strategy :
+  config ->
+  rng:Rumor_rng.Rng.t ->
+  capacity:int ->
+  epoch:int ->
+  knows:bool array ->
+  unit Rumor_sim.Engine.epoch_plan
+(** Epoch-plan builder for {!Rumor_sim.Engine.run_epochs}: partially
+    apply [strategy cfg ~rng ~capacity] to obtain the [repair]
+    callback. Per epoch it allocates fresh pull schedules — node [v]
+    uninformed at the epoch's start first pulls at round [timeout + 1],
+    then after gaps [1 + uniform(0, w)] where the window [w] doubles
+    from [backoff_base] up to [backoff_cap]; nodes that lose the rumor
+    mid-epoch (recovery amnesia) restart their timeout from that
+    round. *)
+
+val self_heal :
+  ?fault:Rumor_sim.Fault.t ->
+  ?collect_trace:bool ->
+  ?forget_on_recover:bool ->
+  ?reset:(unit -> int list) ->
+  ?on_round_end:(int -> unit) ->
+  ?skew:(int -> int) ->
+  config:config ->
+  rng:Rumor_rng.Rng.t ->
+  topology:Rumor_sim.Topology.t ->
+  protocol:'st Rumor_sim.Protocol.t ->
+  sources:int list ->
+  unit ->
+  Rumor_sim.Engine.result
+(** [self_heal ~config ~rng ~topology ~protocol ~sources ()] runs the
+    main [protocol] once, then up to [config.max_epochs] repair epochs
+    until every live node is informed
+    ({!Rumor_sim.Engine.run_epochs}). [forget_on_recover] defaults to
+    [true] here — self-healing is exactly the regime in which stale
+    post-crash state should not be trusted. The result's [repair] field
+    carries the per-epoch accounting. *)
+
+val heal :
+  ?fault:Rumor_sim.Fault.t ->
+  ?collect_trace:bool ->
+  ?forget_on_recover:bool ->
+  config:config ->
+  rng:Rumor_rng.Rng.t ->
+  graph:Rumor_graph.Graph.t ->
+  protocol:'st Rumor_sim.Protocol.t ->
+  source:int ->
+  unit ->
+  Rumor_sim.Engine.result
+(** {!self_heal} on a static graph from a single source (the
+    {!Run.once} analogue). *)

@@ -15,21 +15,49 @@ let summary (s : Summary.t) =
       ("p90", Json.Float s.Summary.p90);
     ]
 
-let engine_result (r : Engine.result) =
+let epoch_stat (e : Engine.epoch_stat) =
   Json.Obj
     [
-      ("rounds", Json.Int r.Engine.rounds);
-      ( "completion_round",
-        match r.Engine.completion_round with
-        | Some c -> Json.Int c
-        | None -> Json.Null );
-      ("informed", Json.Int r.Engine.informed);
-      ("population", Json.Int r.Engine.population);
-      ("push_tx", Json.Int r.Engine.push_tx);
-      ("pull_tx", Json.Int r.Engine.pull_tx);
-      ("channels", Json.Int r.Engine.channels);
-      ("success", Json.Bool (Engine.success r));
+      ("epoch", Json.Int e.Engine.epoch);
+      ("rounds", Json.Int e.Engine.epoch_rounds);
+      ("informed", Json.Int e.Engine.epoch_informed);
+      ("population", Json.Int e.Engine.epoch_population);
+      ( "coverage",
+        Json.Float
+          (if e.Engine.epoch_population = 0 then 0.
+           else
+             float_of_int e.Engine.epoch_informed
+             /. float_of_int e.Engine.epoch_population) );
+      ("repair_push_tx", Json.Int e.Engine.repair_push_tx);
+      ("repair_pull_tx", Json.Int e.Engine.repair_pull_tx);
+      ("repair_channels", Json.Int e.Engine.repair_channels);
     ]
+
+let engine_result (r : Engine.result) =
+  Json.Obj
+    ([
+       ("rounds", Json.Int r.Engine.rounds);
+       ( "completion_round",
+         match r.Engine.completion_round with
+         | Some c -> Json.Int c
+         | None -> Json.Null );
+       ("informed", Json.Int r.Engine.informed);
+       ("population", Json.Int r.Engine.population);
+       ("push_tx", Json.Int r.Engine.push_tx);
+       ("pull_tx", Json.Int r.Engine.pull_tx);
+       ("channels", Json.Int r.Engine.channels);
+       ("success", Json.Bool (Engine.success r));
+     ]
+    @
+    match r.Engine.repair with
+    | [] -> []
+    | epochs ->
+        [
+          ("coverage", Json.Float (Engine.coverage r));
+          ("epochs_used", Json.Int (Engine.epochs_used r));
+          ("repair_tx", Json.Int (Engine.repair_tx r));
+          ("repair", Json.List (List.map epoch_stat epochs));
+        ])
 
 let trace_row (r : Trace.row) =
   Json.Obj

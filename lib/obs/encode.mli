@@ -9,10 +9,18 @@
 val summary : Rumor_stats.Summary.t -> Json.t
 (** [{count, mean, stddev, min, max, median, p10, p90}]. *)
 
+val epoch_stat : Rumor_sim.Engine.epoch_stat -> Json.t
+(** One repair epoch:
+    [{epoch, rounds, informed, population, coverage, repair_push_tx,
+     repair_pull_tx, repair_channels}]. *)
+
 val engine_result : Rumor_sim.Engine.result -> Json.t
 (** [{rounds, completion_round, informed, population, push_tx, pull_tx,
-     channels, success}]. The [knows] array and the trace are omitted —
-    per-node payload delivery is not telemetry; use {!trace_ndjson} for
+     channels, success}]; self-healing runs additionally carry
+    [{coverage, epochs_used, repair_tx, repair: [epoch_stat, ...]}]
+    (added fields only — the [rumor-bench/1] schema is unchanged for
+    plain runs). The [knows] array and the trace are omitted — per-node
+    payload delivery is not telemetry; use {!trace_ndjson} for
     per-round dumps. *)
 
 val trace_row : Rumor_sim.Trace.row -> Json.t

@@ -79,8 +79,23 @@ let leave_random t ~rng =
   leave t ~rng ~node:v;
   v
 
+type event = { joined : int option; left : int option }
+
 let session t ~rng ~d ~join_prob ~leave_prob () =
-  if Rng.bernoulli rng join_prob && Overlay.node_count t < Overlay.capacity t
-  then ignore (join t ~rng ~d);
-  if Rng.bernoulli rng leave_prob && Overlay.node_count t > d + 2 then
-    ignore (leave_random t ~rng)
+  let joined =
+    (* The join is skipped — never raised through — when the overlay is
+       full or too sparse to split d/2 edges, mirroring the leave guard
+       below: one saturated tick must not kill a long experiment. *)
+    if
+      Rng.bernoulli rng join_prob
+      && Overlay.node_count t < Overlay.capacity t
+      && Overlay.edge_count t >= d / 2
+    then Some (join t ~rng ~d)
+    else None
+  in
+  let left =
+    if Rng.bernoulli rng leave_prob && Overlay.node_count t > d + 2 then
+      Some (leave_random t ~rng)
+    else None
+  in
+  { joined; left }

@@ -43,6 +43,11 @@ val leave_random : Overlay.t -> rng:Rumor_rng.Rng.t -> int
 (** Depart a uniformly random live node and return its id.
     @raise Failure on an empty overlay. *)
 
+type event = {
+  joined : int option;  (** id of the node that joined this tick, if any *)
+  left : int option;  (** id of the node that left this tick, if any *)
+}
+
 val session :
   Overlay.t ->
   rng:Rumor_rng.Rng.t ->
@@ -50,9 +55,14 @@ val session :
   join_prob:float ->
   leave_prob:float ->
   unit ->
-  unit
-(** One churn tick: with probability [join_prob] a node joins, then
-    with probability [leave_prob] a random node leaves (skipped when
-    the overlay would drop below [d + 2] nodes, keeping the regular
-    structure meaningful). Designed to be called from the engine's
+  event
+(** One churn tick: with probability [join_prob] a node joins (skipped
+    when the overlay is at capacity or has fewer than [d/2] edges to
+    split — a saturated tick is dropped rather than raising mid-run),
+    then with probability [leave_prob] a random node leaves (skipped
+    when the overlay would drop below [d + 2] nodes, keeping the
+    regular structure meaningful). Returns which actions actually
+    fired; the joined id is what a healing harness feeds back to the
+    engine's [reset] hook so the newcomer starts uninformed even if its
+    id was recycled. Designed to be called from the engine's
     [on_round_end]. *)

@@ -26,9 +26,10 @@ val degree : t -> int -> int
 (** Degree of a live node; 0 for dead ids. *)
 
 val neighbor : t -> int -> int -> int
-(** [neighbor t v i], unchecked bounds on [i] beyond the adjacency
-    length.
-    @raise Invalid_argument if [i] is out of range. *)
+(** [neighbor t v i] is [v]'s [i]-th adjacency entry; [i] is checked
+    against the adjacency length. (The {!to_topology} view skips this
+    check — the engine only probes indices below [degree].)
+    @raise Invalid_argument if [i] is outside [\[0, degree t v)]. *)
 
 val neighbors : t -> int -> int list
 

@@ -69,14 +69,14 @@ let run ?(fault = Fault.none) ?(stop_when_complete = false) ~rng ~graph ~protoco
           if Fault.channel_ok fault rng then begin
             (* push: the activated caller transmits to the callee. *)
             if informed.(v) && (protocol.decide state.(v) ~round).push
-               && Fault.delivery_ok fault rng
+               && Fault.delivery_ok ~dir:`Push fault rng
             then begin
               incr transmissions;
               deliver ~sender:v w
             end;
             (* pull: the callee answers the caller. *)
             if informed.(w) && (protocol.decide state.(w) ~round).pull
-               && Fault.delivery_ok fault rng
+               && Fault.delivery_ok ~dir:`Pull fault rng
             then begin
               incr transmissions;
               deliver ~sender:w v

@@ -40,5 +40,9 @@ val run :
     soon as everyone is informed — the oracle-stopped accounting used
     for baselines. Only the [Uniform] selector is meaningful per-activation;
     stateful selectors are accepted and keep their per-node state
-    across activations.
+    across activations. [fault] is sampled through the stateless view
+    ({!Fault.channel_ok}, {!Fault.delivery_ok} with the transmission's
+    direction): independent failures and asymmetric push/pull loss
+    apply; burst and crash modes need {!Engine.run}'s runtime and are
+    ignored here.
     @raise Invalid_argument if [sources] is empty or out of range. *)

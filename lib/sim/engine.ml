@@ -1,5 +1,15 @@
 module Rng = Rumor_rng.Rng
 
+type epoch_stat = {
+  epoch : int;
+  epoch_rounds : int;
+  epoch_informed : int;
+  epoch_population : int;
+  repair_push_tx : int;
+  repair_pull_tx : int;
+  repair_channels : int;
+}
+
 type result = {
   rounds : int;
   completion_round : int option;
@@ -9,14 +19,27 @@ type result = {
   pull_tx : int;
   channels : int;
   knows : bool array;
+  down : int list;
+  repair : epoch_stat list;
   trace : Trace.t option;
 }
 
 let transmissions r = r.push_tx + r.pull_tx
 let success r = r.population > 0 && r.informed = r.population
+let epochs_used r = List.length r.repair
+
+let repair_tx r =
+  List.fold_left
+    (fun acc e -> acc + e.repair_push_tx + e.repair_pull_tx)
+    0 r.repair
+
+let coverage r =
+  if r.population = 0 then 0.
+  else float_of_int r.informed /. float_of_int r.population
 
 let run ?(fault = Fault.none) ?(collect_trace = false) ?(stop_when_complete = false)
-    ?on_round_end ?skew ~rng ~topology ~protocol ~sources () =
+    ?gate ?(forget_on_recover = false) ?reset ?on_round_end ?skew ~rng ~topology
+    ~protocol ~sources () =
   let open Topology in
   let open Protocol in
   let cap = topology.capacity in
@@ -77,12 +100,22 @@ let run ?(fault = Fault.none) ?(collect_trace = false) ?(stop_when_complete = fa
   and total_pull = ref 0
   and total_channels = ref 0 in
   let completion = ref None in
+  let on_recover =
+    (* Recovery amnesia: the node lost its volatile state while it was
+       down and re-enters the uninformed census. *)
+    if forget_on_recover then
+      Some
+        (fun v ->
+          informed.(v) <- false;
+          state.(v) <- protocol.init ~informed:false)
+    else None
+  in
   let round = ref 0 in
   let stop = ref false in
   while (not !stop) && !round < protocol.horizon + max_skew do
     incr round;
     let r = !round in
-    Fault.begin_round frt ~rng ~round:r ~degree:topology.degree
+    Fault.begin_round ?on_recover frt ~rng ~round:r ~degree:topology.degree
       ~alive:topology.alive
       ~informed:(fun v -> informed.(v));
     let decision_of v =
@@ -97,7 +130,12 @@ let run ?(fault = Fault.none) ?(collect_trace = false) ?(stop_when_complete = fa
     in
     let push_now = ref 0 and pull_now = ref 0 and channels_now = ref 0 in
     for u = 0 to cap - 1 do
-      if topology.alive u && Fault.active frt u then begin
+      if
+        topology.alive u && Fault.active frt u
+        && (match gate with
+           | None -> true
+           | Some g -> g ~informed:informed.(u) ~node:u ~round:r)
+      then begin
         let d = topology.degree u in
         if d > 0 then begin
           let k = Selector.select selector ~rng ~node:u ~degree:d ~out:scratch in
@@ -144,6 +182,18 @@ let run ?(fault = Fault.none) ?(collect_trace = false) ?(stop_when_complete = fa
     total_pull := !total_pull + !pull_now;
     total_channels := !total_channels + !channels_now;
     (match on_round_end with Some f -> f r | None -> ());
+    (match reset with
+    | Some f ->
+        (* Ids handed back by the churn harness (fresh joins, id reuse)
+           restart uninformed regardless of any stale flag. *)
+        List.iter
+          (fun v ->
+            if v >= 0 && v < cap then begin
+              informed.(v) <- false;
+              state.(v) <- protocol.init ~informed:false
+            end)
+          (f ())
+    | None -> ());
     (* Census after any churn: completion means every live node knows. *)
     let live = ref 0 and know = ref 0 and all_quiet = ref true in
     for v = 0 to cap - 1 do
@@ -180,11 +230,14 @@ let run ?(fault = Fault.none) ?(collect_trace = false) ?(stop_when_complete = fa
     if stop_when_complete && !completion <> None then stop := true
   done;
   let live = ref 0 and know = ref 0 in
-  for v = 0 to cap - 1 do
-    if topology.alive v && Fault.active frt v then begin
-      incr live;
-      if informed.(v) then incr know
-    end
+  let down = ref [] in
+  for v = cap - 1 downto 0 do
+    if topology.alive v then
+      if Fault.active frt v then begin
+        incr live;
+        if informed.(v) then incr know
+      end
+      else down := v :: !down
   done;
   {
     rounds = !round;
@@ -195,5 +248,106 @@ let run ?(fault = Fault.none) ?(collect_trace = false) ?(stop_when_complete = fa
     pull_tx = !total_pull;
     channels = !total_channels;
     knows = informed;
+    down = !down;
+    repair = [];
     trace;
+  }
+
+type 'st epoch_plan = {
+  epoch_protocol : 'st Protocol.t;
+  epoch_gate : informed:bool -> node:int -> round:int -> bool;
+}
+
+let run_epochs ?(fault = Fault.none) ?(collect_trace = false)
+    ?(forget_on_recover = false) ?reset ?on_round_end ?skew ?(max_epochs = 8)
+    ~rng ~topology ~protocol ~repair ~sources () =
+  if max_epochs < 0 then invalid_arg "Engine.run_epochs: max_epochs < 0";
+  let main =
+    run ~fault ~collect_trace ~forget_on_recover ?reset ?on_round_end ?skew
+      ~rng ~topology ~protocol ~sources ()
+  in
+  let cap = topology.Topology.capacity in
+  let knows = Array.copy main.knows in
+  (* Nodes still down when a run stops would come back up under the next
+     epoch's fresh fault runtime; with amnesia their knowledge is gone. *)
+  let forget_down r =
+    if forget_on_recover then List.iter (fun v -> knows.(v) <- false) r.down
+  in
+  forget_down main;
+  let live_census () =
+    let live = ref 0 and know = ref 0 in
+    for v = 0 to cap - 1 do
+      if topology.Topology.alive v then begin
+        incr live;
+        if knows.(v) then incr know
+      end
+    done;
+    (!live, !know)
+  in
+  let stats = ref [] in
+  let rounds = ref main.rounds in
+  let push = ref main.push_tx in
+  let pull = ref main.pull_tx in
+  let chans = ref main.channels in
+  let down = ref main.down in
+  let epoch = ref 0 in
+  let continue = ref true in
+  while !continue && !epoch < max_epochs do
+    let live, know = live_census () in
+    if live = 0 || know = live || know = 0 then
+      (* covered, empty network, or the rumor died out: nothing to pull *)
+      continue := false
+    else begin
+      incr epoch;
+      let srcs = ref [] in
+      for v = cap - 1 downto 0 do
+        if topology.Topology.alive v && knows.(v) then srcs := v :: !srcs
+      done;
+      let plan = repair ~epoch:!epoch ~knows in
+      (* Epochs fight the channel, not the reaper: communication faults
+         (loss, call failure, bursts) stay on, while the node-dynamics
+         modes (crash_rate, strike) act on the main timeline only —
+         otherwise perpetual mid-repair amnesia makes the total-coverage
+         target unreachable by construction. *)
+      let epoch_fault = { fault with Fault.crash_rate = 0.; strike = None } in
+      let r =
+        run ~fault:epoch_fault ~forget_on_recover ~stop_when_complete:true
+          ~gate:plan.epoch_gate ~rng ~topology ~protocol:plan.epoch_protocol
+          ~sources:!srcs ()
+      in
+      (* The epoch restarted from every knower, so its final flags are
+         the current truth (amnesia included): replace, don't merge. *)
+      Array.blit r.knows 0 knows 0 cap;
+      forget_down r;
+      stats :=
+        {
+          epoch = !epoch;
+          epoch_rounds = r.rounds;
+          epoch_informed = r.informed;
+          epoch_population = r.population;
+          repair_push_tx = r.push_tx;
+          repair_pull_tx = r.pull_tx;
+          repair_channels = r.channels;
+        }
+        :: !stats;
+      rounds := !rounds + r.rounds;
+      push := !push + r.push_tx;
+      pull := !pull + r.pull_tx;
+      chans := !chans + r.channels;
+      down := r.down
+    end
+  done;
+  let live, know = live_census () in
+  {
+    rounds = !rounds;
+    completion_round = main.completion_round;
+    informed = know;
+    population = live;
+    push_tx = !push;
+    pull_tx = !pull;
+    channels = !chans;
+    knows;
+    down = !down;
+    repair = List.rev !stats;
+    trace = main.trace;
   }

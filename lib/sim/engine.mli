@@ -16,10 +16,22 @@
     deliveries to already-informed nodes — which is the quantity the
     paper's theorems bound. *)
 
+type epoch_stat = {
+  epoch : int;  (** 1-based repair epoch index *)
+  epoch_rounds : int;  (** rounds the epoch executed *)
+  epoch_informed : int;  (** informed live nodes at the epoch's end *)
+  epoch_population : int;  (** live nodes at the epoch's end *)
+  repair_push_tx : int;  (** push transmissions spent by the epoch *)
+  repair_pull_tx : int;  (** pull transmissions spent by the epoch *)
+  repair_channels : int;  (** channels the epoch opened *)
+}
+(** Accounting for one self-healing repair epoch (see {!run_epochs}). *)
+
 type result = {
-  rounds : int;  (** rounds actually executed *)
+  rounds : int;  (** rounds actually executed (including repair epochs) *)
   completion_round : int option;
-      (** first round at whose end every live node was informed *)
+      (** first round at whose end every live node was informed (main
+          schedule only — repair rounds are not counted here) *)
   informed : int;  (** informed live nodes at the end of the run *)
   population : int;  (** live nodes at the end of the run *)
   push_tx : int;  (** total push transmissions *)
@@ -29,6 +41,12 @@ type result = {
       (** final informed flag per node id (length = topology capacity) —
           lets applications deliver the payload to exactly the reached
           nodes *)
+  down : int list;
+      (** node ids crashed (and not yet recovered) when the run stopped;
+          [[]] without node faults *)
+  repair : epoch_stat list;
+      (** per-epoch repair accounting, oldest first; [[]] for plain
+          {!run} results *)
   trace : Trace.t option;  (** per-round rows when requested *)
 }
 
@@ -38,10 +56,22 @@ val transmissions : result -> int
 val success : result -> bool
 (** Every live node informed when the run stopped. *)
 
+val epochs_used : result -> int
+(** Repair epochs the run consumed ([List.length r.repair]). *)
+
+val repair_tx : result -> int
+(** Total transmissions spent inside repair epochs. *)
+
+val coverage : result -> float
+(** [informed / population] (0 on an empty network). *)
+
 val run :
   ?fault:Fault.t ->
   ?collect_trace:bool ->
   ?stop_when_complete:bool ->
+  ?gate:(informed:bool -> node:int -> round:int -> bool) ->
+  ?forget_on_recover:bool ->
+  ?reset:(unit -> int list) ->
   ?on_round_end:(int -> unit) ->
   ?skew:(int -> int) ->
   rng:Rumor_rng.Rng.t ->
@@ -75,5 +105,78 @@ val run :
     (clamped so that a node whose clock has not started yet stays
     silent and not yet quiescent). Default: no skew. The horizon grows
     by the largest skew so late clocks still finish their schedule.
+
+    [gate ~informed ~node ~round] is consulted once per live node per
+    round before the node opens its channels; when it returns [false]
+    the node initiates nothing that round (it can still {e answer}
+    channels opened towards it). Repair epochs use this to silence
+    informed nodes and to run uninformed nodes on a pull-timeout /
+    backoff schedule. Default: every node opens channels every round
+    (no call is made, preserving bit-identical results).
+
+    [forget_on_recover] (default false) models {e recovery amnesia}: a
+    node that recovers from a crash lost its volatile state, re-enters
+    the uninformed census and restarts from [protocol.init
+    ~informed:false] — instead of resuming with stale [knows] state.
+
+    [reset] is drained right after [on_round_end]; the returned node
+    ids (fresh churn joins, possibly reusing the id of a departed peer)
+    are restarted uninformed. Out-of-range ids are ignored.
     @raise Invalid_argument if [sources] is empty or contains a dead or
     out-of-range id. *)
+
+type 'st epoch_plan = {
+  epoch_protocol : 'st Protocol.t;
+      (** protocol for one repair epoch (its [horizon] bounds the
+          epoch's length) *)
+  epoch_gate : informed:bool -> node:int -> round:int -> bool;
+      (** per-round gate for the epoch: silences informed nodes and
+          schedules uninformed pulls (timeout + backoff) *)
+}
+(** One repair epoch's behaviour, built fresh per epoch by the strategy
+    callback of {!run_epochs}. *)
+
+val run_epochs :
+  ?fault:Fault.t ->
+  ?collect_trace:bool ->
+  ?forget_on_recover:bool ->
+  ?reset:(unit -> int list) ->
+  ?on_round_end:(int -> unit) ->
+  ?skew:(int -> int) ->
+  ?max_epochs:int ->
+  rng:Rumor_rng.Rng.t ->
+  topology:Topology.t ->
+  protocol:'st Protocol.t ->
+  repair:(epoch:int -> knows:bool array -> 'r epoch_plan) ->
+  sources:int list ->
+  unit ->
+  result
+(** [run_epochs ~rng ~topology ~protocol ~repair ~sources ()] runs the
+    main broadcast schedule once ({!run}, forwarding [fault],
+    [collect_trace], [forget_on_recover], [on_round_end] and [skew]),
+    ([reset], like [on_round_end], applies to the main run only), then
+    — while some live node is uninformed and at most [max_epochs]
+    (default 8) times — asks [repair ~epoch ~knows] for a fresh
+    {!epoch_plan} and re-runs the engine with every current knower as a
+    source and the plan's gate installed. Epochs keep the fault plan's
+    {e communication} modes (link/call loss, asymmetric loss, bursts)
+    but drop the node-dynamics modes ([crash_rate], [strike]): those
+    act on the main timeline, a fresh {!Fault.runtime} per epoch brings
+    crashed nodes back up (between-epoch recovery), and perpetual
+    mid-repair amnesia would make the total-coverage target
+    unreachable by construction. [knows] is the current per-id informed
+    flag; treat it as read-only.
+
+    The returned result aggregates the whole healing run: [rounds],
+    [push_tx], [pull_tx] and [channels] are cumulative across the main
+    schedule and all epochs, [repair] holds one {!epoch_stat} per epoch
+    in order, and [informed]/[population]/[knows] describe the final
+    state. Epochs stop early once every live node is informed; the loop
+    also stops if the rumor went extinct (no live knower remains — with
+    nobody to pull from, repair cannot make progress).
+
+    Churn note: [on_round_end] only fires inside the main run; repair
+    epochs execute on the topology as it stands, so harnesses that
+    churn the overlay should do so from the main schedule.
+    @raise Invalid_argument if [max_epochs < 0] or [sources] is invalid
+    for {!run}. *)

@@ -80,7 +80,13 @@ let has_node_faults t =
 let channel_ok t rng =
   t.call_failure = 0. || not (Rng.bernoulli rng t.call_failure)
 
-let delivery_ok t rng = t.link_loss = 0. || not (Rng.bernoulli rng t.link_loss)
+let delivery_ok ?dir t rng =
+  (t.link_loss = 0. || not (Rng.bernoulli rng t.link_loss))
+  &&
+  match dir with
+  | None -> true
+  | Some `Push -> t.push_loss = 0. || not (Rng.bernoulli rng t.push_loss)
+  | Some `Pull -> t.pull_loss = 0. || not (Rng.bernoulli rng t.pull_loss)
 
 (* --- stateful runtime driven by the engine's round loop --- *)
 
@@ -137,7 +143,7 @@ let apply_strike rt ~rng ~degree ~alive ~informed s =
     rt.down.(arr.(i)) <- true
   done
 
-let begin_round rt ~rng ~round ~degree ~alive ~informed =
+let begin_round ?on_recover rt ~rng ~round ~degree ~alive ~informed =
   if Array.length rt.bad > 0 then
     for v = 0 to rt.capacity - 1 do
       if rt.bad.(v) then begin
@@ -148,8 +154,10 @@ let begin_round rt ~rng ~round ~degree ~alive ~informed =
   if Array.length rt.down > 0 then begin
     if rt.plan.recover_rate > 0. then
       for v = 0 to rt.capacity - 1 do
-        if rt.down.(v) && Rng.bernoulli rng rt.plan.recover_rate then
-          rt.down.(v) <- false
+        if rt.down.(v) && Rng.bernoulli rng rt.plan.recover_rate then begin
+          rt.down.(v) <- false;
+          match on_recover with Some f -> f v | None -> ()
+        end
       done;
     if rt.plan.crash_rate > 0. then
       for v = 0 to rt.capacity - 1 do

@@ -90,9 +90,16 @@ val plan :
 val channel_ok : t -> Rumor_rng.Rng.t -> bool
 (** Sample whether a channel establishes (independent component only). *)
 
-val delivery_ok : t -> Rumor_rng.Rng.t -> bool
-(** Sample whether one transmission survives (independent [link_loss]
-    only — stateless view used by the [Async] and [Multi] runners). *)
+val delivery_ok : ?dir:[ `Push | `Pull ] -> t -> Rumor_rng.Rng.t -> bool
+(** Sample whether one transmission survives. Always applies the
+    symmetric [link_loss]; when [dir] is given, the matching
+    per-direction loss ([push_loss] or [pull_loss]) is layered on top,
+    so the [Async] and [Multi] runners honour asymmetric plans. A zero
+    probability draws nothing. This stateless view still omits the
+    {e stateful} modes — Gilbert–Elliott bursts and crash/recovery live
+    in the {!runtime} and are only exercised by {!Engine.run}; plans
+    using them under the simpler runners degrade to the independent
+    components. *)
 
 (** {1 Engine runtime}
 
@@ -107,6 +114,7 @@ val start : t -> capacity:int -> runtime
     @raise Invalid_argument if [capacity < 0]. *)
 
 val begin_round :
+  ?on_recover:(int -> unit) ->
   runtime ->
   rng:Rumor_rng.Rng.t ->
   round:int ->
@@ -116,7 +124,10 @@ val begin_round :
   unit
 (** Advance one round: step every node's burst chain, recover and crash
     nodes at the plan's rates, and land the adversarial strike when
-    [round] matches. Draws nothing for modes the plan leaves off. *)
+    [round] matches. Draws nothing for modes the plan leaves off.
+    [on_recover] fires once per node the moment it comes back up — the
+    engine uses it to model recovery amnesia (the recovered node
+    re-enters the uninformed census instead of keeping stale state). *)
 
 val active : runtime -> int -> bool
 (** [active rt v] — node [v] has not crashed (or has recovered). *)

@@ -85,7 +85,7 @@ let run ?(fault = Fault.none) ~rng ~topology ~protocol ~messages () =
                 let logical = r - msgs.(j).created in
                 if logical >= 1 then begin
                   if informed.(j).(u) && (decision_of j u logical).push
-                     && Fault.delivery_ok fault rng
+                     && Fault.delivery_ok ~dir:`Push fault rng
                   then begin
                     tx.(j) <- tx.(j) + 1;
                     if informed.(j).(w) then
@@ -93,7 +93,7 @@ let run ?(fault = Fault.none) ~rng ~topology ~protocol ~messages () =
                     else pending.(j).(w) <- true
                   end;
                   if informed.(j).(w) && (decision_of j w logical).pull
-                     && Fault.delivery_ok fault rng
+                     && Fault.delivery_ok ~dir:`Pull fault rng
                   then begin
                     tx.(j) <- tx.(j) + 1;
                     if informed.(j).(u) then

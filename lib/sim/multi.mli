@@ -46,6 +46,10 @@ val run :
 (** [run ~messages ()] drives all rumors to quiescence (each rumor [m]
     runs its protocol with logical round [round - m.created]) and stops
     when every rumor is quiescent on every informed node, or at
-    [max created + protocol.horizon].
+    [max created + protocol.horizon]. [fault] is sampled through the
+    stateless view ({!Fault.channel_ok}, {!Fault.delivery_ok} with the
+    transmission's direction): independent failures and asymmetric
+    push/pull loss apply; burst and crash modes need {!Engine.run}'s
+    runtime and are ignored here.
     @raise Invalid_argument if [messages] is empty or a source is dead
     or out of range. *)

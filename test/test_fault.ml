@@ -9,6 +9,8 @@ module Fault = Rumor_sim.Fault
 module Selector = Rumor_sim.Selector
 module Protocol = Rumor_sim.Protocol
 module Engine = Rumor_sim.Engine
+module Async = Rumor_sim.Async
+module Repair = Rumor_core.Repair
 
 let pusher ?(push = true) ?(pull = false) ~horizon () =
   {
@@ -242,6 +244,97 @@ let test_none_roundtrip () =
 let test_empty_plan_equals_none () =
   Alcotest.(check bool) "plan () = none" true (Fault.plan () = Fault.none)
 
+(* --- the stateless view: per-direction loss under Async --- *)
+
+let test_delivery_ok_directional () =
+  let rng = Rng.create 21 in
+  let push_lossy = Fault.plan ~push_loss:1. () in
+  let pull_lossy = Fault.plan ~pull_loss:1. () in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "push loss kills pushes" false
+      (Fault.delivery_ok ~dir:`Push push_lossy rng);
+    Alcotest.(check bool) "push loss spares pulls" true
+      (Fault.delivery_ok ~dir:`Pull push_lossy rng);
+    Alcotest.(check bool) "undirected view skips push_loss" true
+      (Fault.delivery_ok push_lossy rng);
+    Alcotest.(check bool) "pull loss kills pulls" false
+      (Fault.delivery_ok ~dir:`Pull pull_lossy rng);
+    Alcotest.(check bool) "pull loss spares pushes" true
+      (Fault.delivery_ok ~dir:`Push pull_lossy rng)
+  done
+
+let test_async_honours_directional_loss () =
+  let silenced =
+    Async.run
+      ~fault:(Fault.plan ~push_loss:1. ())
+      ~rng:(Rng.create 22) ~graph:(Classic.complete 32)
+      ~protocol:(pusher ~horizon:30 ())
+      ~sources:[ 0 ] ()
+  in
+  Alcotest.(check int) "push loss silences an async pusher" 1
+    silenced.Async.informed;
+  let spared =
+    Async.run
+      ~fault:(Fault.plan ~pull_loss:1. ())
+      ~rng:(Rng.create 22) ~graph:(Classic.complete 32)
+      ~protocol:(pusher ~horizon:30 ())
+      ~sources:[ 0 ] ()
+  in
+  Alcotest.(check int) "pull loss spares an async pusher" 32
+    spared.Async.informed
+
+(* --- regression: crash recovering after completion needs repair ---
+
+   Victims crash after the broadcast completes and recover (with
+   amnesia) only once every pusher has stopped transmitting: without a
+   repair layer they stay uninformed forever, and [Repair.self_heal]
+   must close exactly that gap. *)
+
+let bounded_pusher ~push_until ~horizon =
+  {
+    Protocol.name = "bounded-push";
+    selector = Selector.Uniform { fanout = 1 };
+    horizon;
+    init = (fun ~informed -> informed);
+    decide =
+      (fun st ~round ->
+        ignore st;
+        { Protocol.push = round <= push_until; pull = false });
+    receive = (fun _ ~round -> ignore round; true);
+    feedback = Protocol.no_feedback;
+    quiescent = (fun _ ~round -> round > horizon);
+  }
+
+let test_recovery_after_completion_needs_repair () =
+  let n = 64 in
+  let fault =
+    Fault.plan ~strike:(Fault.strike ~at_round:18 ~count:4 ()) ~recover_rate:1.
+      ()
+  in
+  let protocol = bounded_pusher ~push_until:16 ~horizon:20 in
+  let bare =
+    Engine.run ~fault ~forget_on_recover:true ~rng:(Rng.create 41)
+      ~topology:(Topology.of_graph (Classic.complete n))
+      ~protocol ~sources:[ 0 ] ()
+  in
+  (match bare.Engine.completion_round with
+  | Some c -> Alcotest.(check bool) "completed before the strike" true (c < 18)
+  | None -> Alcotest.fail "broadcast did not complete before the strike");
+  Alcotest.(check int) "victims recovered" n bare.Engine.population;
+  Alcotest.(check int) "and stay uninformed without repair" (n - 4)
+    bare.Engine.informed;
+  let healed =
+    Repair.heal ~fault
+      ~config:(Repair.config ~n ())
+      ~rng:(Rng.create 41) ~graph:(Classic.complete n) ~protocol ~source:0 ()
+  in
+  Alcotest.(check bool) "repair re-informs the amnesiacs" true
+    (Engine.success healed);
+  Alcotest.(check int) "nobody left behind" n healed.Engine.informed;
+  Alcotest.(check bool) "within one or two epochs" true
+    (Engine.epochs_used healed >= 1
+    && Engine.epochs_used healed <= (Repair.config ~n ()).Repair.max_epochs)
+
 let () =
   Alcotest.run "rumor_fault"
     [
@@ -269,6 +362,10 @@ let () =
             test_push_loss_spares_pull;
           Alcotest.test_case "pull loss blocks pull" `Quick
             test_pull_loss_blocks_pull_only;
+          Alcotest.test_case "delivery_ok directions" `Quick
+            test_delivery_ok_directional;
+          Alcotest.test_case "async directional loss" `Quick
+            test_async_honours_directional_loss;
         ] );
       ( "crash",
         [
@@ -284,6 +381,8 @@ let () =
             test_crash_stop_shrinks_population;
           Alcotest.test_case "recovery restores nodes" `Quick
             test_recovery_restores_nodes;
+          Alcotest.test_case "post-completion recovery needs repair" `Quick
+            test_recovery_after_completion_needs_repair;
         ] );
       ( "identity",
         [ Alcotest.test_case "none round-trips" `Quick test_none_roundtrip ] );

@@ -144,6 +144,24 @@ let test_overlay_topology_view () =
   Overlay.deactivate o 0;
   Alcotest.(check bool) "deactivation visible" false (t.Rumor_sim.Topology.alive 0)
 
+(* Pin the documented bounds contract: [neighbor] checks its index
+   against the adjacency length (dead ids have length 0), unlike the
+   unchecked [to_topology] fast path. *)
+let test_overlay_neighbor_bounds () =
+  let o = Overlay.create ~capacity:4 in
+  let a = Overlay.activate o and b = Overlay.activate o in
+  Overlay.add_edge o a b;
+  Alcotest.(check int) "in range" b (Overlay.neighbor o a 0);
+  Alcotest.check_raises "index = degree"
+    (Invalid_argument "Overlay.neighbor: index") (fun () ->
+      ignore (Overlay.neighbor o a 1));
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Overlay.neighbor: index") (fun () ->
+      ignore (Overlay.neighbor o a (-1)));
+  Alcotest.check_raises "dead id has no entries"
+    (Invalid_argument "Overlay.neighbor: index") (fun () ->
+      ignore (Overlay.neighbor o 3 0))
+
 (* --- Churn --- *)
 
 let test_join_preserves_regularity () =
@@ -181,7 +199,7 @@ let test_churn_storm_keeps_structure () =
   let o = regular_overlay ~seed:12 ~n:30 ~d:4 ~capacity:100 in
   let rng = Rng.create 13 in
   for _ = 1 to 200 do
-    Churn.session o ~rng ~d:4 ~join_prob:0.5 ~leave_prob:0.5 ()
+    ignore (Churn.session o ~rng ~d:4 ~join_prob:0.5 ~leave_prob:0.5 ())
   done;
   Alcotest.(check bool) "invariant after storm" true (Overlay.invariant o);
   List.iter (fun d -> Alcotest.(check int) "4-regular" 4 d) (degrees_live o);
@@ -342,7 +360,7 @@ let test_broadcast_survives_churn () =
   let res =
     Engine.run ~rng
       ~on_round_end:(fun _ ->
-        Churn.session o ~rng ~d:8 ~join_prob:0.8 ~leave_prob:0.8 ())
+        ignore (Churn.session o ~rng ~d:8 ~join_prob:0.8 ~leave_prob:0.8 ()))
       ~topology:(Overlay.to_topology o)
       ~protocol ~sources:[ 0 ] ()
   in
@@ -356,6 +374,69 @@ let test_broadcast_survives_churn () =
     true (coverage >= 0.95);
   Alcotest.(check bool) "overlay still sane" true (Overlay.invariant o)
 
+(* --- regression: a late joiner needs the repair layer ---
+
+   The newcomer arrives after every pusher has stopped transmitting, so
+   without repair it provably ends the run uninformed; under
+   [Repair.self_heal], fed by the same [reset] hook, it must end
+   informed. Both arms rebuild the same seeded overlay and rng. *)
+
+let bounded_pusher ~push_until ~horizon =
+  {
+    Rumor_sim.Protocol.name = "bounded-push";
+    selector = Rumor_sim.Selector.Uniform { fanout = 1 };
+    horizon;
+    init = (fun ~informed -> informed);
+    decide =
+      (fun st ~round ->
+        ignore st;
+        { Rumor_sim.Protocol.push = round <= push_until; pull = false });
+    receive = (fun _ ~round -> ignore round; true);
+    feedback = Rumor_sim.Protocol.no_feedback;
+    quiescent = (fun _ ~round -> round > horizon);
+  }
+
+let late_join_arm ~with_repair =
+  let n = 64 and d = 8 in
+  let o = regular_overlay ~seed:51 ~n ~d ~capacity:(2 * n) in
+  let rng = Rng.create 52 in
+  let joined = ref [] in
+  let newcomer = ref (-1) in
+  let on_round_end r =
+    if r = 13 then begin
+      let v = Churn.join o ~rng ~d in
+      newcomer := v;
+      joined := [ v ]
+    end
+  in
+  let reset () =
+    let l = !joined in
+    joined := [];
+    l
+  in
+  let protocol = bounded_pusher ~push_until:12 ~horizon:16 in
+  let topology = Overlay.to_topology o in
+  let res =
+    if with_repair then
+      Rumor_core.Repair.self_heal
+        ~config:(Rumor_core.Repair.config ~n ())
+        ~reset ~on_round_end ~rng ~topology ~protocol ~sources:[ 0 ] ()
+    else Engine.run ~reset ~on_round_end ~rng ~topology ~protocol ~sources:[ 0 ] ()
+  in
+  (res, !newcomer)
+
+let test_late_join_needs_repair () =
+  let bare, j = late_join_arm ~with_repair:false in
+  Alcotest.(check bool) "a node joined" true (j >= 0);
+  Alcotest.(check bool) "newcomer uninformed without repair" false
+    bare.Engine.knows.(j);
+  Alcotest.(check bool) "so the bare run fails" false (Engine.success bare);
+  let healed, j' = late_join_arm ~with_repair:true in
+  Alcotest.(check int) "same newcomer id" j j';
+  Alcotest.(check bool) "newcomer informed under repair" true
+    healed.Engine.knows.(j');
+  Alcotest.(check bool) "healed run succeeds" true (Engine.success healed)
+
 (* --- qcheck properties --- *)
 
 let prop_churn_preserves_regularity =
@@ -365,7 +446,7 @@ let prop_churn_preserves_regularity =
       let o = regular_overlay ~seed ~n:20 ~d:4 ~capacity:80 in
       let rng = Rng.create (seed + 1000) in
       for _ = 1 to ops do
-        Churn.session o ~rng ~d:4 ~join_prob:0.6 ~leave_prob:0.4 ()
+        ignore (Churn.session o ~rng ~d:4 ~join_prob:0.6 ~leave_prob:0.4 ())
       done;
       Overlay.invariant o
       && List.for_all (fun d -> d = 4) (degrees_live o))
@@ -402,6 +483,8 @@ let () =
           Alcotest.test_case "random edge" `Quick test_overlay_random_edge;
           Alcotest.test_case "random edge empty" `Quick test_overlay_random_edge_empty;
           Alcotest.test_case "topology view" `Quick test_overlay_topology_view;
+          Alcotest.test_case "neighbor bounds" `Quick
+            test_overlay_neighbor_bounds;
         ] );
       ( "churn",
         [
@@ -436,6 +519,11 @@ let () =
             test_replica_converged_detects_difference;
         ] );
       ( "integration",
-        [ Alcotest.test_case "broadcast under churn" `Slow test_broadcast_survives_churn ] );
+        [
+          Alcotest.test_case "broadcast under churn" `Slow
+            test_broadcast_survives_churn;
+          Alcotest.test_case "late joiner needs repair" `Quick
+            test_late_join_needs_repair;
+        ] );
       ("properties", qcheck_cases);
     ]
