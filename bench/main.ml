@@ -13,7 +13,8 @@
    see EXPERIMENTS.md for the schema and `rumor bench-check` for the
    validator.
 
-   Usage: main.exe [E1 E2 ... | all] [--quick] [--json FILE] *)
+   Usage: main.exe [E1 E2 ... | all] [--quick] [--reps N] [--domains N]
+          [--json FILE] *)
 
 module Rng = Rumor_rng.Rng
 module Dist = Rumor_rng.Dist
@@ -43,8 +44,15 @@ module Metrics = Rumor_obs.Metrics
 module Encode = Rumor_obs.Encode
 
 let quick = ref false
+let reps_override : int option ref = ref None
+let reps () =
+  match !reps_override with Some r -> r | None -> if !quick then 3 else 5
 
-let reps () = if !quick then 3 else 5
+(* 0 = auto (Experiment.default_domains); reps are pre-forked RNG
+   streams, so the domain count never changes results, only wall time. *)
+let domains_flag = ref 0
+let domains () =
+  if !domains_flag >= 1 then !domains_flag else Experiment.default_domains ()
 
 (* --- telemetry ---
 
@@ -91,7 +99,7 @@ type sweep_point = {
 
 let sweep ?fault ?(stop = false) ~seed ~n ~d protocol_of =
   let results =
-    Experiment.replicate_parallel ~domains:4 ~seed ~reps:(reps ()) (fun rng ->
+    Experiment.replicate_parallel ~domains:(domains ()) ~seed ~reps:(reps ()) (fun rng ->
         run_once ?fault ~stop ~rng ~n ~d (protocol_of ()))
   in
   let per_seed_tx =
@@ -282,7 +290,7 @@ let e1_e2 () =
 let minimal_tail ~seed ~n ~d ~fanout =
   let push_rounds = Params.ceil_log2 n + 2 in
   let instances =
-    Experiment.replicate_parallel ~domains:4 ~seed ~reps:(reps ()) (fun rng ->
+    Experiment.replicate_parallel ~domains:(domains ()) ~seed ~reps:(reps ()) (fun rng ->
         let g = Regular.sample_connected ~rng ~n ~d Regular.Pairing in
         (g, Rng.split rng))
   in
@@ -480,7 +488,7 @@ let e6 () =
         (fun alpha ->
           let fault = Fault.make ~link_loss:loss () in
           let results =
-            Experiment.replicate_parallel ~domains:4 ~seed:(800 + i) ~reps:(reps ()) (fun rng ->
+            Experiment.replicate_parallel ~domains:(domains ()) ~seed:(800 + i) ~reps:(reps ()) (fun rng ->
                 run_once ~fault ~rng ~n ~d
                   (Algorithm.make (Params.make ~alpha ~n_estimate:n ~d ())))
           in
@@ -607,7 +615,7 @@ let e7 () =
     (fun i (label, plan) ->
       let fault = { plan with Fault.burst = Some burst } in
       let results =
-        Experiment.replicate_parallel ~domains:4 ~seed:(950 + i)
+        Experiment.replicate_parallel ~domains:(domains ()) ~seed:(950 + i)
           ~reps:(reps ()) (fun rng ->
             run_once ~fault ~rng ~n ~d
               (Algorithm.make (Params.make ~alpha ~n_estimate:n ~d ())))
@@ -724,7 +732,7 @@ let e8 () =
           let ops_per_round = int_of_float (rate *. fin n) in
           let seed = 1000 + (10 * i) + j in
           let cell with_repair =
-            Experiment.replicate_parallel ~domains:4 ~seed ~reps:(reps ())
+            Experiment.replicate_parallel ~domains:(domains ()) ~seed ~reps:(reps ())
               (run_cell ~fault ~ops_per_round ~with_repair)
           in
           (* Same seeds for both arms: the repair column answers "what
@@ -894,7 +902,7 @@ let e10 () =
     (* Mean rounds for pull-only to finish from a uniform half-informed
        start, plus the mean transmissions spent. *)
     let results =
-      Experiment.replicate_parallel ~domains:4 ~seed ~reps:(reps ()) (fun rng ->
+      Experiment.replicate_parallel ~domains:(domains ()) ~seed ~reps:(reps ()) (fun rng ->
           let g = graph_of rng in
           let sources =
             Array.to_list (Rng.distinct rng ~bound:(Graph.n g) ~k:(Graph.n g / 2))
@@ -1137,7 +1145,7 @@ let a2 () =
   List.iteri
     (fun i max_skew ->
       let results =
-        Experiment.replicate_parallel ~domains:4 ~seed:(1900 + i) ~reps:(reps ()) (fun rng ->
+        Experiment.replicate_parallel ~domains:(domains ()) ~seed:(1900 + i) ~reps:(reps ()) (fun rng ->
             let g = Regular.sample_connected ~rng ~n ~d Regular.Pairing in
             let offsets =
               Array.init n (fun _ ->
@@ -1240,7 +1248,7 @@ let a4 () =
       "no (needs n estimate)";
     ];
   let mc =
-    Experiment.replicate_parallel ~domains:4 ~seed:2101 ~reps:(reps ()) (fun rng ->
+    Experiment.replicate_parallel ~domains:(domains ()) ~seed:2101 ~reps:(reps ()) (fun rng ->
         let g = Regular.sample_connected ~rng ~n ~d Regular.Pairing in
         let config = Rumor_core.Median_counter.default_config ~n ~fanout:1 in
         Rumor_core.Median_counter.run ~rng ~graph:g ~config ~source:0)
@@ -1302,7 +1310,7 @@ let a5 () =
   List.iteri
     (fun i (name, graph_of) ->
       let results =
-        Experiment.replicate_parallel ~domains:4 ~seed:(2200 + i) ~reps:(reps ()) (fun rng ->
+        Experiment.replicate_parallel ~domains:(domains ()) ~seed:(2200 + i) ~reps:(reps ()) (fun rng ->
             let g = graph_of rng in
             let params =
               Params.make ~alpha:2.0 ~n_estimate:(Graph.n g) ~d ()
@@ -1397,7 +1405,7 @@ let a7 () =
   List.iteri
     (fun i (label, heal_round, fraction) ->
       let results =
-        Experiment.replicate_parallel ~domains:4 ~seed:(2400 + i) ~reps:(reps ()) (fun rng ->
+        Experiment.replicate_parallel ~domains:(domains ()) ~seed:(2400 + i) ~reps:(reps ()) (fun rng ->
             let g = Regular.sample_connected ~rng ~n ~d Regular.Pairing in
             let o = Rumor_p2p.Overlay.of_graph ~capacity:n g in
             let part =
@@ -1476,7 +1484,7 @@ let a8 () =
   List.iteri
     (fun i (name, graph_of) ->
       let results =
-        Experiment.replicate_parallel ~domains:4 ~seed:(2500 + i) ~reps:(reps ()) (fun rng ->
+        Experiment.replicate_parallel ~domains:(domains ()) ~seed:(2500 + i) ~reps:(reps ()) (fun rng ->
             let g = graph_of rng in
             let params = Params.make ~alpha:2.0 ~n_estimate:n ~d () in
             Run.once ~rng ~graph:g ~protocol:(Algorithm.make params)
@@ -1532,7 +1540,7 @@ let a9 () =
     List.iter
       (fun k ->
         let results =
-          Experiment.replicate_parallel ~domains:4 ~seed:(2600 + k) ~reps:(reps ()) (fun rng ->
+          Experiment.replicate_parallel ~domains:(domains ()) ~seed:(2600 + k) ~reps:(reps ()) (fun rng ->
               run_once ~rng ~n ~d (proto_of ~rng ~k))
         in
         let residue =
@@ -1611,7 +1619,7 @@ let a10 () =
   List.iteri
     (fun i (name, proto_of) ->
       let sync =
-        Experiment.replicate_parallel ~domains:4 ~seed:(2700 + i)
+        Experiment.replicate_parallel ~domains:(domains ()) ~seed:(2700 + i)
           ~reps:(reps ()) (fun rng ->
             run_once ~stop:(i = 0) ~rng ~n ~d (proto_of ()))
       in
@@ -1635,7 +1643,7 @@ let a10 () =
       add_row name "sync rounds" sync_completion.Summary.mean
         sync_tx.Summary.mean sync_cov.Summary.mean;
       let async =
-        Experiment.replicate_parallel ~domains:4 ~seed:(2800 + i)
+        Experiment.replicate_parallel ~domains:(domains ()) ~seed:(2800 + i)
           ~reps:(reps ()) (fun rng ->
             let g = Regular.sample_connected ~rng ~n ~d Regular.Pairing in
             Rumor_sim.Async.run ~stop_when_complete:(i = 0) ~rng ~graph:g
@@ -1775,6 +1783,28 @@ let () =
     | "--json" :: path :: rest ->
         json_path := Some path;
         parse_args acc rest
+    | [ "--reps" ] ->
+        prerr_endline "main.exe: --reps requires a positive integer";
+        exit 2
+    | "--reps" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some r when r >= 1 ->
+            reps_override := Some r;
+            parse_args acc rest
+        | _ ->
+            prerr_endline "main.exe: --reps requires a positive integer";
+            exit 2)
+    | [ "--domains" ] ->
+        prerr_endline "main.exe: --domains requires a positive integer";
+        exit 2
+    | "--domains" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some d when d >= 1 ->
+            domains_flag := d;
+            parse_args acc rest
+        | _ ->
+            prerr_endline "main.exe: --domains requires a positive integer";
+            exit 2)
     | a :: rest -> parse_args (a :: acc) rest
   in
   let args = parse_args [] (List.tl (Array.to_list Sys.argv)) in
@@ -1789,9 +1819,9 @@ let () =
               names)
           all_experiments
   in
-  Printf.printf "rumor experiment harness (%s mode, %d repetitions)\n"
+  Printf.printf "rumor experiment harness (%s mode, %d repetitions, %d domains)\n"
     (if !quick then "quick" else "full")
-    (reps ());
+    (reps ()) (domains ());
   let records =
     List.map
       (fun (id, f) ->
@@ -1831,6 +1861,7 @@ let () =
                 (List.map (fun a -> Json.String a) (Array.to_list Sys.argv)) );
             ("quick", Json.Bool !quick);
             ("reps", Json.Int (reps ()));
+            ("domains", Json.Int (domains ()));
             ("experiments", Json.List records);
           ]
       in

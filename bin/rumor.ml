@@ -228,7 +228,25 @@ let sizes_arg =
 let reps_arg =
   Arg.(value & opt int 5 & info [ "reps" ] ~docv:"R" ~doc:"Repetitions per point.")
 
-let sweep seed sizes d protocol alpha fanout reps json =
+let domains_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "domains" ] ~docv:"D"
+        ~doc:
+          "OCaml domains used to fan repetitions across cores (0 = auto: \
+           recommended domain count capped at 8). Per-repetition RNG streams \
+           are pre-forked, so results are bit-identical for every D.")
+
+let resolve_domains d =
+  if d < 0 then begin
+    prerr_endline "rumor: --domains must be >= 0";
+    exit 2
+  end
+  else if d = 0 then Experiment.default_domains ()
+  else d
+
+let sweep seed sizes d protocol alpha fanout reps domains json =
+  let domains = resolve_domains domains in
   let t =
     Table.create
       ~columns:
@@ -244,7 +262,7 @@ let sweep seed sizes d protocol alpha fanout reps json =
   List.iteri
     (fun i n ->
       let results =
-        Experiment.replicate ~seed:(seed + i) ~reps (fun rng ->
+        Experiment.replicate_parallel ~domains ~seed:(seed + i) ~reps (fun rng ->
             let g = Regular.sample_connected ~rng ~n ~d Regular.Pairing in
             let p =
               Rumor_cli.Scenario.make_protocol ~protocol ~n ~d ~alpha ~fanout ()
@@ -302,6 +320,7 @@ let sweep seed sizes d protocol alpha fanout reps json =
               ("alpha", Json.Float alpha);
               ("fanout", Json.Int fanout);
               ("reps", Json.Int reps);
+              ("domains", Json.Int domains);
               ("points", Json.List (List.rev !points));
             ]))
   else Table.print t;
@@ -312,7 +331,7 @@ let sweep_cmd =
   Cmd.v info
     Term.(
       const sweep $ seed_arg $ sizes_arg $ d_arg $ protocol_arg $ alpha_arg
-      $ fanout_arg $ reps_arg $ json_arg)
+      $ fanout_arg $ reps_arg $ domains_arg $ json_arg)
 
 (* --- churn --- *)
 
@@ -406,7 +425,8 @@ let use_estimator_arg =
           "Source the size estimate from min-of-exponentials gossip at the \
            broadcast source instead of sweeping fixed n-error factors.")
 
-let robustness seed n d alpha reps burst_len use_estimator json =
+let robustness seed n d alpha reps domains burst_len use_estimator json =
+  let domains = resolve_domains domains in
   if burst_len < 1. then begin
     prerr_endline "rumor: --burst-len must be >= 1";
     exit 2
@@ -445,7 +465,7 @@ let robustness seed n d alpha reps burst_len use_estimator json =
       List.iteri
         (fun j factor ->
           let results =
-            Experiment.replicate_parallel ~domains:4
+            Experiment.replicate_parallel ~domains
               ~seed:(seed + (10 * i) + j)
               ~reps
               (fun rng ->
@@ -577,7 +597,7 @@ let robustness seed n d alpha reps burst_len use_estimator json =
     (fun i (label, plan) ->
       let fault = { plan with Fault.burst = Some burst } in
       let results =
-        Experiment.replicate_parallel ~domains:4 ~seed:(seed + 100 + i) ~reps
+        Experiment.replicate_parallel ~domains ~seed:(seed + 100 + i) ~reps
           (fun rng ->
             let g = Regular.sample_connected ~rng ~n ~d Regular.Pairing in
             let params = Params.make ~alpha ~n_estimate:n ~d () in
@@ -639,6 +659,7 @@ let robustness seed n d alpha reps burst_len use_estimator json =
               ("d", Json.Int d);
               ("alpha", Json.Float alpha);
               ("reps", Json.Int reps);
+              ("domains", Json.Int domains);
               ("burst_len", Json.Float burst_len);
               ("use_estimator", Json.Bool use_estimator);
               ("sweep", Json.List (List.rev !sweep_points));
@@ -662,7 +683,7 @@ let robustness_cmd =
   Cmd.v info
     Term.(
       const robustness $ seed_arg $ robust_n_arg $ d_arg $ robust_alpha_arg
-      $ reps_arg $ burst_len_arg $ use_estimator_arg $ json_arg)
+      $ reps_arg $ domains_arg $ burst_len_arg $ use_estimator_arg $ json_arg)
 
 (* --- heal (self-healing broadcast) --- *)
 
@@ -714,8 +735,96 @@ let no_repair_arg =
           "Run the same hostile scenario without repair epochs — exposes the \
            uninformed nodes self-healing would have fixed.")
 
+(* Aggregate reporting for [heal --reps R] with R > 1: per-rep rows plus
+   summary statistics; exits 0 only if every repetition completes. *)
+let heal_replicated ~seed ~reps ~domains ~no_repair ~json one_run =
+  let results = Experiment.replicate_parallel ~domains ~seed ~reps one_run in
+  let coverage =
+    Summary.of_list (List.map (fun (r, _, _) -> Engine.coverage r) results)
+  in
+  let epochs =
+    Summary.of_list
+      (List.map (fun (r, _, _) -> float_of_int (Engine.epochs_used r)) results)
+  in
+  let repair_tx =
+    Summary.of_list
+      (List.map (fun (r, _, _) -> float_of_int (Engine.repair_tx r)) results)
+  in
+  let ok = List.length (List.filter (fun (r, _, _) -> Engine.success r) results) in
+  if json then
+    print_endline
+      (Json.to_string ~minify:false
+         (Json.Obj
+            [
+              ("command", Json.String "heal");
+              ("seed", Json.Int seed);
+              ("reps", Json.Int reps);
+              ("domains", Json.Int domains);
+              ("repair", Json.Bool (not no_repair));
+              ( "success_rate",
+                Json.Float (float_of_int ok /. float_of_int reps) );
+              ("coverage", Encode.summary coverage);
+              ("epochs_used", Encode.summary epochs);
+              ("repair_tx", Encode.summary repair_tx);
+              ( "runs",
+                Json.List
+                  (List.map
+                     (fun (r, span, overlay_ok) ->
+                       Json.Obj
+                         [
+                           ("coverage", Json.Float (Engine.coverage r));
+                           ("epochs_used", Json.Int (Engine.epochs_used r));
+                           ("repair_tx", Json.Int (Engine.repair_tx r));
+                           ("success", Json.Bool (Engine.success r));
+                           ("overlay_invariant", Json.Bool overlay_ok);
+                           ("result", Encode.engine_result r);
+                           ("metrics", Obs_metrics.span_to_json span);
+                         ])
+                     results) );
+            ]))
+  else begin
+    let t =
+      Table.create
+        ~columns:
+          [
+            ("rep", Table.Right);
+            ("coverage", Table.Right);
+            ("epochs", Table.Right);
+            ("repair tx", Table.Right);
+            ("complete", Table.Right);
+          ]
+    in
+    List.iteri
+      (fun i (r, _, _) ->
+        Table.add_row t
+          [
+            string_of_int i;
+            Printf.sprintf "%.4f" (Engine.coverage r);
+            string_of_int (Engine.epochs_used r);
+            string_of_int (Engine.repair_tx r);
+            (if Engine.success r then "yes" else "NO");
+          ])
+      results;
+    Table.print t;
+    Printf.printf "success   %d/%d\n" ok reps;
+    Printf.printf "coverage  %.4f ±%.4f\n" coverage.Summary.mean
+      (Summary.ci95_halfwidth coverage);
+    Printf.printf "epochs    %.1f mean\n" epochs.Summary.mean
+  end;
+  if ok = reps then 0 else 1
+
+let heal_reps_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "reps" ] ~docv:"R"
+        ~doc:
+          "Independent repetitions (forked RNG streams). The default 1 keeps \
+           the original single-run behaviour and output; R > 1 replicates \
+           across domains and reports per-rep and aggregate coverage.")
+
 let heal seed n d alpha burst_loss burst_len crash_rate recover_rate join_prob
-    leave_prob timeout backoff max_epochs no_repair json =
+    leave_prob timeout backoff max_epochs no_repair reps domains json =
+  let domains = resolve_domains domains in
   let check_prob name p =
     if p < 0. || p > 1. then begin
       Printf.eprintf "rumor: --%s must be in [0, 1]\n" name;
@@ -735,9 +844,10 @@ let heal seed n d alpha burst_loss burst_len crash_rate recover_rate join_prob
       "rumor: --backoff must be >= 1, --timeout and --max-epochs >= 0";
     exit 2
   end;
-  let rng = Rng.create seed in
-  let g = Regular.sample_connected ~rng ~n ~d Regular.Pairing in
-  let o = Overlay.of_graph ~capacity:(2 * n) g in
+  if reps < 1 then begin
+    prerr_endline "rumor: --reps must be >= 1";
+    exit 2
+  end;
   let fault =
     let burst =
       if burst_loss > 0. then
@@ -747,32 +857,45 @@ let heal seed n d alpha burst_loss burst_len crash_rate recover_rate join_prob
     Fault.plan ?burst ~crash_rate ~recover_rate ()
   in
   let protocol = Algorithm.make (Params.make ~alpha ~n_estimate:n ~d ()) in
-  (* Joins during the main schedule may recycle ids of departed peers;
-     the engine's reset hook restarts them uninformed. *)
-  let joined = ref [] in
-  let on_round_end _ =
-    let ev = Churn.session o ~rng ~d ~join_prob ~leave_prob () in
-    match ev.Churn.joined with
-    | Some v -> joined := v :: !joined
-    | None -> ()
-  in
-  let reset () =
-    let l = !joined in
-    joined := [];
-    l
-  in
   let config =
     Rumor_core.Repair.config ~timeout ~backoff_cap:backoff ~max_epochs ~n ()
   in
-  let res, span =
-    Obs_metrics.timed (fun () ->
-        if no_repair then
-          Engine.run ~fault ~forget_on_recover:true ~reset ~on_round_end ~rng
-            ~topology:(Overlay.to_topology o) ~protocol ~sources:[ 0 ] ()
-        else
-          Rumor_core.Repair.self_heal ~fault ~config ~reset ~on_round_end ~rng
-            ~topology:(Overlay.to_topology o) ~protocol ~sources:[ 0 ] ())
+  (* One full hostile run; all mutable state is local so the closure is
+     safe to replicate across domains. *)
+  let one_run rng =
+    let g = Regular.sample_connected ~rng ~n ~d Regular.Pairing in
+    let o = Overlay.of_graph ~capacity:(2 * n) g in
+    (* Joins during the main schedule may recycle ids of departed peers;
+       the engine's reset hook restarts them uninformed. *)
+    let joined = ref [] in
+    let on_round_end _ =
+      let ev = Churn.session o ~rng ~d ~join_prob ~leave_prob () in
+      match ev.Churn.joined with
+      | Some v -> joined := v :: !joined
+      | None -> ()
+    in
+    let reset () =
+      let l = !joined in
+      joined := [];
+      l
+    in
+    let res, span =
+      Obs_metrics.timed (fun () ->
+          if no_repair then
+            Engine.run ~fault ~forget_on_recover:true ~reset ~on_round_end ~rng
+              ~topology:(Overlay.to_topology o) ~protocol ~sources:[ 0 ] ()
+          else
+            Rumor_core.Repair.self_heal ~fault ~config ~reset ~on_round_end
+              ~rng ~topology:(Overlay.to_topology o) ~protocol ~sources:[ 0 ]
+              ())
+    in
+    (res, span, Overlay.invariant o)
   in
+  if reps > 1 then heal_replicated ~seed ~reps ~domains ~no_repair ~json one_run
+  else begin
+  (* reps = 1: the original single-run path, stream- and output-compatible
+     (the RNG is [create seed] itself, not a fork). *)
+  let res, span, overlay_ok = one_run (Rng.create seed) in
   if json then
     print_endline
       (Json.to_string ~minify:false
@@ -831,9 +954,10 @@ let heal seed n d alpha burst_loss burst_len crash_rate recover_rate join_prob
       (Engine.transmissions res)
       (float_of_int (Engine.transmissions res)
       /. float_of_int (max 1 res.Engine.population));
-    Printf.printf "overlay invariant %b\n" (Overlay.invariant o)
+    Printf.printf "overlay invariant %b\n" overlay_ok
   end;
   if Engine.success res then 0 else 1
+  end
 
 let heal_cmd =
   let info =
@@ -849,7 +973,8 @@ let heal_cmd =
       const heal $ seed_arg $ robust_n_arg $ d_arg $ robust_alpha_arg
       $ burst_loss_arg $ burst_len_arg $ crash_rate_arg $ recover_rate_arg
       $ join_prob_arg $ leave_prob_arg $ repair_timeout_arg
-      $ repair_backoff_arg $ max_epochs_arg $ no_repair_arg $ json_arg)
+      $ repair_backoff_arg $ max_epochs_arg $ no_repair_arg $ heal_reps_arg
+      $ domains_arg $ json_arg)
 
 (* --- run (scenario files) --- *)
 

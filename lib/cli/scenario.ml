@@ -32,6 +32,7 @@ type t = {
   repair_backoff : int;
   max_epochs : int;
   reps : int;
+  domains : int;
 }
 
 let default =
@@ -57,6 +58,7 @@ let default =
     repair_backoff = 8;
     max_epochs = 0;
     reps = 5;
+    domains = 0;
   }
 
 let topologies = [ "regular"; "hypercube"; "torus"; "complete"; "gnp"; "product-k5" ]
@@ -191,6 +193,10 @@ let parse text =
                   parse_int line value (fun x ->
                       if x < 1 then err line "reps must be >= 1"
                       else continue { acc with reps = x })
+              | "domains" ->
+                  parse_int line value (fun x ->
+                      if x < 0 then err line "domains must be >= 0 (0 = auto)"
+                      else continue { acc with domains = x })
               | other -> err line ("unknown key: " ^ other)
               end
             end
@@ -284,8 +290,16 @@ let run scenario =
     else None
   in
   let protocol_name = ref "" in
+  let domains =
+    if scenario.domains >= 1 then scenario.domains
+    else Experiment.default_domains ()
+  in
   let results =
-    Experiment.replicate ~seed:scenario.seed ~reps:scenario.reps (fun rng ->
+    (* Bit-identical to sequential replication: streams are pre-forked
+       per repetition. The [protocol_name] write races across domains
+       but every repetition writes the same name. *)
+    Experiment.replicate_parallel ~domains ~seed:scenario.seed
+      ~reps:scenario.reps (fun rng ->
         let g =
           make_graph ~rng ~topology:scenario.topology ~n:scenario.n
             ~d:scenario.d

@@ -14,6 +14,7 @@
     fanout   = 4
     loss     = 0.05
     reps     = 5
+    domains  = 0          # parallel replication; 0 = auto
     v}
 
     Fault-injection keys build a full {!Rumor_sim.Fault.t} plan:
@@ -60,11 +61,15 @@ type t = {
   repair_backoff : int;  (** backoff window cap for repair pulls, rounds *)
   max_epochs : int;  (** repair epoch budget; 0 disables self-healing *)
   reps : int;
+  domains : int;
+      (** OCaml domains for parallel replication; 0 (the default) means
+          auto ({!Rumor_stats.Experiment.default_domains}). Results are
+          bit-identical for every value. *)
 }
 
 val default : t
 (** [seed 1, n 16384, d 8, regular, bef, alpha 1.0, fanout 4, no
-    faults, exact size estimate, 5 reps]. *)
+    faults, exact size estimate, 5 reps, auto domains]. *)
 
 val parse : string -> (t, string) result
 (** Parse scenario text over {!default}. Duplicate keys are an error. *)

@@ -13,12 +13,14 @@ let decide_with ~push_window (s : Phase.schedule) state ~round =
       match Phase.phase_of s ~round with
       | Phase.Phase1 ->
           let age = round - received in
-          { Protocol.push = age >= 1 && age <= push_window; pull = false }
-      | Phase.Phase2 -> { Protocol.push = true; pull = false }
-      | Phase.Phase3 -> { Protocol.push = false; pull = true }
+          if age >= 1 && age <= push_window then Protocol.push_only
+          else Protocol.silent
+      | Phase.Phase2 -> Protocol.push_only
+      | Phase.Phase3 -> Protocol.pull_only
       | Phase.Phase4 ->
           (* Only nodes first informed in phase 3 or 4 are active. *)
-          { Protocol.push = received > s.Phase.p2_end; pull = false }
+          if received > s.Phase.p2_end then Protocol.push_only
+          else Protocol.silent
       | Phase.Finished -> Protocol.silent
     end
 

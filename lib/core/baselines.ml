@@ -33,19 +33,19 @@ let push ?(fanout = 1) ~horizon () =
   constant_protocol ~name:(Printf.sprintf "push-f%d" fanout)
     ~selector:(Selector.Uniform { fanout })
     ~horizon
-    ~decision:{ Protocol.push = true; pull = false }
+    ~decision:Protocol.push_only
 
 let pull ?(fanout = 1) ~horizon () =
   constant_protocol ~name:(Printf.sprintf "pull-f%d" fanout)
     ~selector:(Selector.Uniform { fanout })
     ~horizon
-    ~decision:{ Protocol.push = false; pull = true }
+    ~decision:Protocol.pull_only
 
 let push_pull ?(fanout = 1) ~horizon () =
   constant_protocol ~name:(Printf.sprintf "push-pull-f%d" fanout)
     ~selector:(Selector.Uniform { fanout })
     ~horizon
-    ~decision:{ Protocol.push = true; pull = true }
+    ~decision:Protocol.push_pull
 
 let push_pull_age ?(fanout = 1) ~push_rounds ~total_rounds () =
   if total_rounds < push_rounds then
@@ -60,9 +60,8 @@ let push_pull_age ?(fanout = 1) ~push_rounds ~total_rounds () =
         match state with
         | Algorithm.Uninformed -> Protocol.silent
         | Algorithm.Informed _ ->
-            if round <= push_rounds then { Protocol.push = true; pull = true }
-            else if round <= total_rounds then
-              { Protocol.push = false; pull = true }
+            if round <= push_rounds then Protocol.push_pull
+            else if round <= total_rounds then Protocol.pull_only
             else Protocol.silent);
     receive;
     feedback = Protocol.no_feedback;
@@ -82,9 +81,8 @@ let push_then_pull ?(fanout = 1) ~push_rounds ~total_rounds () =
         match state with
         | Algorithm.Uninformed -> Protocol.silent
         | Algorithm.Informed _ ->
-            if round <= push_rounds then { Protocol.push = true; pull = false }
-            else if round <= total_rounds then
-              { Protocol.push = false; pull = true }
+            if round <= push_rounds then Protocol.push_only
+            else if round <= total_rounds then Protocol.pull_only
             else Protocol.silent);
     receive;
     feedback = Protocol.no_feedback;
@@ -95,4 +93,4 @@ let quasirandom ~fanout ~horizon =
   constant_protocol ~name:(Printf.sprintf "quasirandom-f%d" fanout)
     ~selector:(Selector.Quasirandom { fanout })
     ~horizon
-    ~decision:{ Protocol.push = true; pull = false }
+    ~decision:Protocol.push_only

@@ -22,7 +22,7 @@ let receive state ~round =
 let decide state ~round =
   ignore round;
   match state with
-  | Active _ -> { Protocol.push = true; pull = true }
+  | Active _ -> Protocol.push_pull
   | Uninformed | Removed -> Protocol.silent
 
 (* Blind variants advance on every active round; [decide] is called
@@ -107,8 +107,7 @@ let blind_coin ~rng ~k ?(fanout = 1) ~horizon () =
       (fun state ~round ->
         match state with
         | Active { received; heard_back = lifetime } ->
-            if round - received <= lifetime then
-              { Protocol.push = true; pull = true }
+            if round - received <= lifetime then Protocol.push_pull
             else Protocol.silent
         | Uninformed | Removed -> Protocol.silent);
     quiescent =
@@ -133,7 +132,7 @@ let blind_counter ~k ?(fanout = 1) ~horizon () =
       (fun state ~round ->
         match state with
         | Active { received; _ } ->
-            if round - received <= k then { Protocol.push = true; pull = true }
+            if round - received <= k then Protocol.push_pull
             else Protocol.silent
         | Uninformed | Removed -> Protocol.silent);
     quiescent =

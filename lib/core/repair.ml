@@ -48,7 +48,9 @@ let protocol cfg =
     selector = Selector.Uniform { fanout = 1 };
     horizon = cfg.epoch_rounds;
     init = (fun ~informed:_ -> ());
-    decide = (fun () ~round -> { Protocol.push = false; pull = round <= cfg.quiescence });
+    decide =
+      (fun () ~round ->
+        if round <= cfg.quiescence then Protocol.pull_only else Protocol.silent);
     receive = (fun () ~round:_ -> ());
     feedback = Protocol.no_feedback;
     quiescent = (fun () ~round -> round > cfg.quiescence);

@@ -78,10 +78,14 @@ let iter_edges g f =
   done
 
 let mem_edge g u v =
+  (* Scan the smaller adjacency slice and stop at the first hit. *)
   let a, b = if degree g u <= degree g v then (u, v) else (v, u) in
-  let found = ref false in
-  iter_neighbors g a (fun w -> if w = b then found := true);
-  !found
+  let i = ref g.off.(a) in
+  let stop = g.off.(a + 1) in
+  while !i < stop && g.adj.(!i) <> b do
+    incr i
+  done;
+  !i < stop
 
 let max_degree g =
   let best = ref 0 in
@@ -118,6 +122,20 @@ let count_self_loops g =
   done;
   !total / 2
 
+(* Insertion sort of [a.(0 .. len-1)]: monomorphic int comparisons, no
+   allocation, and degrees are small enough that O(d^2) beats the
+   polymorphic [Array.sort compare] it replaces. *)
+let sort_int_prefix a len =
+  for i = 1 to len - 1 do
+    let x = a.(i) in
+    let j = ref (i - 1) in
+    while !j >= 0 && a.(!j) > x do
+      a.(!j + 1) <- a.(!j);
+      decr j
+    done;
+    a.(!j + 1) <- x
+  done
+
 let count_parallel_edges g =
   let surplus = ref 0 in
   let scratch = Array.make (max_degree g) 0 in
@@ -126,12 +144,11 @@ let count_parallel_edges g =
     for i = 0 to d - 1 do
       scratch.(i) <- neighbor g v i
     done;
-    let slice = Array.sub scratch 0 d in
-    Array.sort compare slice;
+    sort_int_prefix scratch d;
     for i = 1 to d - 1 do
       (* Count duplicates from v's side only for v <= w to avoid double
          counting; self-loop duplicates are not parallel edges. *)
-      if slice.(i) = slice.(i - 1) && slice.(i) > v then incr surplus
+      if scratch.(i) = scratch.(i - 1) && scratch.(i) > v then incr surplus
     done
   done;
   !surplus
@@ -148,6 +165,10 @@ let invariant g =
     check_csr ~n:g.n ~off:g.off ~adj:g.adj;
     (* Symmetry as a multiset: sorting the directed edge list both ways
        must coincide. *)
+    let cmp (a1, b1) (a2, b2) =
+      let c = Int.compare a1 a2 in
+      if c <> 0 then c else Int.compare b1 b2
+    in
     let dir = Array.make (Array.length g.adj) (0, 0) in
     let k = ref 0 in
     for v = 0 to g.n - 1 do
@@ -156,7 +177,11 @@ let invariant g =
           incr k)
     done;
     let rev = Array.map (fun (u, v) -> (v, u)) dir in
-    Array.sort compare dir;
-    Array.sort compare rev;
-    dir = rev
+    Array.sort cmp dir;
+    Array.sort cmp rev;
+    let equal = ref true in
+    for i = 0 to Array.length dir - 1 do
+      if cmp dir.(i) rev.(i) <> 0 then equal := false
+    done;
+    !equal
   with Invalid_argument _ -> false

@@ -26,31 +26,35 @@ let fork t i =
 
 let bits64 = Xoshiro.next
 
-(* Unbiased bounded integers via rejection on the top 62 bits. *)
+(* Unbiased bounded integers via rejection on the top 62 bits. Plain
+   loops over local refs (which ocamlopt keeps in registers) rather than
+   local recursive functions, so a draw allocates nothing. *)
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
-  let mask =
-    let rec widen m = if m >= bound - 1 then m else widen ((m lsl 1) lor 1) in
-    widen 1
-  in
-  let rec draw () =
-    let x = Int64.to_int (Int64.shift_right_logical (Xoshiro.next t) 2) in
-    let x = x land mask in
-    if x < bound then x else draw ()
-  in
-  draw ()
+  let mask = ref 1 in
+  while !mask < bound - 1 do
+    mask := (!mask lsl 1) lor 1
+  done;
+  let mask = !mask in
+  let x = ref (Xoshiro.bits62 t land mask) in
+  while !x >= bound do
+    x := Xoshiro.bits62 t land mask
+  done;
+  !x
 
 let int_in t lo hi =
   if hi < lo then invalid_arg "Rng.int_in: hi < lo";
   lo + int t (hi - lo + 1)
 
-let float t =
-  let x = Int64.shift_right_logical (Xoshiro.next t) 11 in
-  Int64.to_float x *. 0x1.0p-53
+let float t = float_of_int (Xoshiro.bits53 t) *. 0x1.0p-53
+let bool t = Xoshiro.bit t = 1
 
-let bool t = Int64.logand (Xoshiro.next t) 1L = 1L
-
-let bernoulli t p = if p <= 0. then false else if p >= 1. then true else float t < p
+(* [float] is expanded by hand so the draw stays an unboxed compare —
+   calling [float t] would box its result at the function return. *)
+let bernoulli t p =
+  if p <= 0. then false
+  else if p >= 1. then true
+  else float_of_int (Xoshiro.bits53 t) *. 0x1.0p-53 < p
 
 let shuffle_prefix t a k =
   let n = Array.length a in

@@ -1,12 +1,94 @@
+(* Xoshiro256** on 32-bit halves held in native ints.
+
+   OCaml's [int64] is boxed outside of flambda builds: every temporary in
+   the reference implementation costs a 3-word minor allocation, and the
+   generator sits under every channel draw of the simulator — profiling
+   put it at ~31 minor words per bounded draw, the single largest
+   allocator in the whole engine. Keeping each 64-bit state word as two
+   untagged 32-bit halves makes [step] allocation-free while producing
+   bit-identical streams (the golden tests pin exact outputs).
+
+   Invariant: every [s*h]/[s*l]/[out*] field is in [0, 2^32). *)
+
 type t = {
-  mutable s0 : int64;
-  mutable s1 : int64;
-  mutable s2 : int64;
-  mutable s3 : int64;
+  mutable s0h : int;
+  mutable s0l : int;
+  mutable s1h : int;
+  mutable s1l : int;
+  mutable s2h : int;
+  mutable s2l : int;
+  mutable s3h : int;
+  mutable s3l : int;
+  (* Halves of the last scrambled output, written by [step]. Scratch
+     fields rather than a returned pair so that drawing never allocates. *)
+  mutable outh : int;
+  mutable outl : int;
 }
 
-let rotl x k =
-  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+let mask32 = 0xFFFFFFFF
+let hi64 x = Int64.to_int (Int64.shift_right_logical x 32)
+let lo64 x = Int64.to_int (Int64.logand x 0xFFFFFFFFL)
+
+let to64 h l =
+  Int64.logor (Int64.shift_left (Int64.of_int h) 32) (Int64.of_int l)
+
+let step t =
+  (* out = rotl64 (s1 * 5) 7 * 9, carried across the 32-bit seam. *)
+  let p = t.s1l * 5 in
+  let ml = p land mask32 in
+  let mh = ((t.s1h * 5) + (p lsr 32)) land mask32 in
+  let rh = ((mh lsl 7) lor (ml lsr 25)) land mask32 in
+  let rl = ((ml lsl 7) lor (mh lsr 25)) land mask32 in
+  let q = rl * 9 in
+  t.outl <- q land mask32;
+  t.outh <- ((rh * 9) + (q lsr 32)) land mask32;
+  (* tt = s1 lsl 17 *)
+  let th = ((t.s1h lsl 17) lor (t.s1l lsr 15)) land mask32 in
+  let tl = (t.s1l lsl 17) land mask32 in
+  t.s2h <- t.s2h lxor t.s0h;
+  t.s2l <- t.s2l lxor t.s0l;
+  t.s3h <- t.s3h lxor t.s1h;
+  t.s3l <- t.s3l lxor t.s1l;
+  t.s1h <- t.s1h lxor t.s2h;
+  t.s1l <- t.s1l lxor t.s2l;
+  t.s0h <- t.s0h lxor t.s3h;
+  t.s0l <- t.s0l lxor t.s3l;
+  t.s2h <- t.s2h lxor th;
+  t.s2l <- t.s2l lxor tl;
+  (* s3 = rotl64 s3 45: a half swap (rotl 32) followed by rotl 13. *)
+  let h = t.s3h and l = t.s3l in
+  t.s3h <- ((l lsl 13) lor (h lsr 19)) land mask32;
+  t.s3l <- ((h lsl 13) lor (l lsr 19)) land mask32
+
+let bits62 t =
+  step t;
+  (t.outh lsl 30) lor (t.outl lsr 2)
+
+let bits53 t =
+  step t;
+  (t.outh lsl 21) lor (t.outl lsr 11)
+
+let bit t =
+  step t;
+  t.outl land 1
+
+let next t =
+  step t;
+  to64 t.outh t.outl
+
+let make s0 s1 s2 s3 =
+  {
+    s0h = hi64 s0;
+    s0l = lo64 s0;
+    s1h = hi64 s1;
+    s1l = lo64 s1;
+    s2h = hi64 s2;
+    s2l = lo64 s2;
+    s3h = hi64 s3;
+    s3l = lo64 s3;
+    outh = 0;
+    outl = 0;
+  }
 
 let create seed =
   let sm = Splitmix64.create seed in
@@ -17,26 +99,27 @@ let create seed =
   (* SplitMix64 output is never all-zero across four draws in practice,
      but guard anyway: an all-zero xoshiro state is a fixed point. *)
   if Int64.logor (Int64.logor s0 s1) (Int64.logor s2 s3) = 0L then
-    { s0 = 1L; s1; s2; s3 }
-  else { s0; s1; s2; s3 }
+    make 1L s1 s2 s3
+  else make s0 s1 s2 s3
 
 let of_state s0 s1 s2 s3 =
   if Int64.logor (Int64.logor s0 s1) (Int64.logor s2 s3) = 0L then
     invalid_arg "Xoshiro.of_state: all-zero state";
-  { s0; s1; s2; s3 }
+  make s0 s1 s2 s3
 
-let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
-
-let next t =
-  let result = Int64.mul (rotl (Int64.mul t.s1 5L) 7) 9L in
-  let tt = Int64.shift_left t.s1 17 in
-  t.s2 <- Int64.logxor t.s2 t.s0;
-  t.s3 <- Int64.logxor t.s3 t.s1;
-  t.s1 <- Int64.logxor t.s1 t.s2;
-  t.s0 <- Int64.logxor t.s0 t.s3;
-  t.s2 <- Int64.logxor t.s2 tt;
-  t.s3 <- rotl t.s3 45;
-  result
+let copy t =
+  {
+    s0h = t.s0h;
+    s0l = t.s0l;
+    s1h = t.s1h;
+    s1l = t.s1l;
+    s2h = t.s2h;
+    s2l = t.s2l;
+    s3h = t.s3h;
+    s3l = t.s3l;
+    outh = t.outh;
+    outl = t.outl;
+  }
 
 (* Jump polynomial for 2^128 steps, from the reference implementation. *)
 let jump_tbl = [| 0x180EC6D33CFD0ABAL; 0xD5A61266F0C9392CL;
@@ -47,15 +130,19 @@ let jump t =
   for i = 0 to 3 do
     for b = 0 to 63 do
       if Int64.logand jump_tbl.(i) (Int64.shift_left 1L b) <> 0L then begin
-        s0 := Int64.logxor !s0 t.s0;
-        s1 := Int64.logxor !s1 t.s1;
-        s2 := Int64.logxor !s2 t.s2;
-        s3 := Int64.logxor !s3 t.s3
+        s0 := Int64.logxor !s0 (to64 t.s0h t.s0l);
+        s1 := Int64.logxor !s1 (to64 t.s1h t.s1l);
+        s2 := Int64.logxor !s2 (to64 t.s2h t.s2l);
+        s3 := Int64.logxor !s3 (to64 t.s3h t.s3l)
       end;
       ignore (next t)
     done
   done;
-  t.s0 <- !s0;
-  t.s1 <- !s1;
-  t.s2 <- !s2;
-  t.s3 <- !s3
+  t.s0h <- hi64 !s0;
+  t.s0l <- lo64 !s0;
+  t.s1h <- hi64 !s1;
+  t.s1l <- lo64 !s1;
+  t.s2h <- hi64 !s2;
+  t.s2l <- lo64 !s2;
+  t.s3h <- hi64 !s3;
+  t.s3l <- lo64 !s3

@@ -2,7 +2,15 @@
 
     The workhorse generator of the library: 256 bits of state, period
     [2^256 - 1], passes BigCrush, and is very fast. All simulation code
-    goes through {!Rng}, which wraps this module. *)
+    goes through {!Rng}, which wraps this module.
+
+    The state is stored as untagged 32-bit halves in native ints, so
+    advancing the generator allocates nothing (a boxed [int64]
+    implementation costs three minor words per temporary on non-flambda
+    builds, which dominated the simulator's allocation profile). The
+    {!bits62}, {!bits53} and {!bit} accessors expose the exact bit
+    ranges the bounded-draw code needs without ever materialising an
+    [int64]; streams are bit-identical to the reference generator. *)
 
 type t
 (** Mutable generator state. *)
@@ -20,7 +28,25 @@ val copy : t -> t
 (** [copy t] duplicates the state; the copies evolve independently. *)
 
 val next : t -> int64
-(** [next t] advances the state and returns 64 pseudo-random bits. *)
+(** [next t] advances the state and returns 64 pseudo-random bits. The
+    returned [int64] is boxed; hot paths should prefer {!bits62},
+    {!bits53} or {!bit}. *)
+
+val bits62 : t -> int
+(** [bits62 t] advances the state once and returns the top 62 bits of
+    the same output [next] would have produced
+    ([Int64.to_int (Int64.shift_right_logical (next t) 2)]), without
+    allocating. Always non-negative. *)
+
+val bits53 : t -> int
+(** [bits53 t] advances the state once and returns the top 53 bits of
+    the same output [next] would have produced — the mantissa-sized
+    slice used for unit-interval floats — without allocating. *)
+
+val bit : t -> int
+(** [bit t] advances the state once and returns the lowest bit (0 or 1)
+    of the same output [next] would have produced, without
+    allocating. *)
 
 val jump : t -> unit
 (** [jump t] advances [t] by [2^128] steps. Starting from a common seed,

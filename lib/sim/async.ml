@@ -17,11 +17,11 @@ let run ?(fault = Fault.none) ?(stop_when_complete = false) ~rng ~graph ~protoco
   List.iter
     (fun s -> if s < 0 || s >= n then invalid_arg "Async.run: bad source")
     sources;
-  let informed = Array.make n false in
+  let informed = Bitset.create n in
   let state = Array.init n (fun _ -> protocol.init ~informed:false) in
   List.iter
     (fun s ->
-      informed.(s) <- true;
+      Bitset.set informed s;
       state.(s) <- protocol.init ~informed:true)
     sources;
   let selector = Selector.make protocol.selector ~capacity:n in
@@ -34,15 +34,43 @@ let run ?(fault = Fault.none) ?(stop_when_complete = false) ~rng ~graph ~protoco
   let horizon = float_of_int protocol.horizon in
   let logical () = int_of_float !time + 1 in
   (* Quiescence is only re-checked occasionally (it costs O(n)); the
-     horizon bounds the run regardless. *)
+     horizon bounds the run regardless. The scan exits at the first
+     talkative node, checking last time's witness first. *)
+  let witness = ref 0 in
   let all_quiet () =
-    let quiet = ref true in
     let round = logical () in
-    for v = 0 to n - 1 do
-      if informed.(v) && not (protocol.quiescent state.(v) ~round) then
-        quiet := false
-    done;
-    !quiet
+    let w = !witness in
+    if
+      w < n && Bitset.get informed w
+      && not (protocol.quiescent state.(w) ~round)
+    then false
+    else begin
+      let quiet = ref true in
+      let v = ref 0 in
+      while !quiet && !v < n do
+        let u = !v in
+        if Bitset.get informed u && not (protocol.quiescent state.(u) ~round)
+        then begin
+          quiet := false;
+          witness := u
+        end;
+        incr v
+      done;
+      !quiet
+    end
+  in
+  (* Hoisted out of the activation loop so steady-state activations
+     allocate nothing; [cur_round] carries the logical round. *)
+  let cur_round = ref 1 in
+  let deliver ~sender target =
+    let round = !cur_round in
+    if not (Bitset.get informed target) then begin
+      Bitset.set informed target;
+      state.(target) <- protocol.receive state.(target) ~round;
+      incr informed_count;
+      if !informed_count = n then completion := Some !time
+    end
+    else state.(sender) <- protocol.feedback state.(sender) ~round
   in
   let stop = ref false in
   while (not !stop) && !time < horizon do
@@ -54,28 +82,20 @@ let run ?(fault = Fault.none) ?(stop_when_complete = false) ~rng ~graph ~protoco
       let deg = Graph.degree graph v in
       if deg > 0 then begin
         let round = logical () in
+        cur_round := round;
         let k = Selector.select selector ~rng ~node:v ~degree:deg ~out:scratch in
-        let deliver ~sender target =
-          if not informed.(target) then begin
-            informed.(target) <- true;
-            state.(target) <- protocol.receive state.(target) ~round;
-            incr informed_count;
-            if !informed_count = n then completion := Some !time
-          end
-          else state.(sender) <- protocol.feedback state.(sender) ~round
-        in
         for i = 0 to k - 1 do
           let w = Graph.neighbor graph v scratch.(i) in
           if Fault.channel_ok fault rng then begin
             (* push: the activated caller transmits to the callee. *)
-            if informed.(v) && (protocol.decide state.(v) ~round).push
+            if Bitset.get informed v && (protocol.decide state.(v) ~round).push
                && Fault.delivery_ok ~dir:`Push fault rng
             then begin
               incr transmissions;
               deliver ~sender:v w
             end;
             (* pull: the callee answers the caller. *)
-            if informed.(w) && (protocol.decide state.(w) ~round).pull
+            if Bitset.get informed w && (protocol.decide state.(w) ~round).pull
                && Fault.delivery_ok ~dir:`Pull fault rng
             then begin
               incr transmissions;

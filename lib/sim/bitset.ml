@@ -1,0 +1,40 @@
+(* Bytes-backed bitset for per-node boolean flags.
+
+   A [bool array] costs one word (8 bytes) per element; at the
+   million-node scale the informed/pending flags alone would occupy
+   16 MB and thrash the cache. One bit per node keeps the whole flag
+   set of an n = 2^20 network in 128 KB. *)
+
+type t = { bits : Bytes.t; len : int }
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative length";
+  { bits = Bytes.make ((n + 7) lsr 3) '\000'; len = n }
+
+let length t = t.len
+
+let get t i =
+  Char.code (Bytes.get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set t i =
+  let j = i lsr 3 in
+  Bytes.set t.bits j
+    (Char.unsafe_chr (Char.code (Bytes.get t.bits j) lor (1 lsl (i land 7))))
+
+let clear t i =
+  let j = i lsr 3 in
+  Bytes.set t.bits j
+    (Char.unsafe_chr
+       (Char.code (Bytes.get t.bits j) land lnot (1 lsl (i land 7)) land 0xFF))
+
+let assign t i b = if b then set t i else clear t i
+let reset t = Bytes.fill t.bits 0 (Bytes.length t.bits) '\000'
+
+let cardinal t =
+  let n = ref 0 in
+  for i = 0 to t.len - 1 do
+    if get t i then incr n
+  done;
+  !n
+
+let to_bool_array t = Array.init t.len (get t)

@@ -1,0 +1,33 @@
+(** Bytes-backed bitset: one bit per node id.
+
+    The engine's per-node flags ([informed], [pending], the decision
+    cache) live here instead of in [bool array]s — 8× less memory and
+    far better cache behaviour at the n = 2^20 scale the paper's
+    asymptotic separations need. Indices are byte-bounds-checked (via
+    the underlying [Bytes] accessors); callers keep indices in
+    [0, length). *)
+
+type t
+
+val create : int -> t
+(** [create n] is a bitset of [n] bits, all unset.
+    @raise Invalid_argument if [n < 0]. *)
+
+val length : t -> int
+(** Number of bits. *)
+
+val get : t -> int -> bool
+val set : t -> int -> unit
+val clear : t -> int -> unit
+
+val assign : t -> int -> bool -> unit
+(** [assign t i b] sets bit [i] to [b]. *)
+
+val reset : t -> unit
+(** Unset every bit. *)
+
+val cardinal : t -> int
+(** Number of set bits. *)
+
+val to_bool_array : t -> bool array
+(** Expand to a [bool array] of [length] elements. *)

@@ -57,26 +57,27 @@ let run ?(fault = Fault.none) ?(collect_trace = false) ?(stop_when_complete = fa
       if s < 0 || s >= cap || not (topology.alive s) then
         invalid_arg "Engine.run: bad source")
     sources;
-  let informed = Array.make cap false in
+  let informed = Bitset.create cap in
   let state = Array.init cap (fun _ -> protocol.init ~informed:false) in
   List.iter
     (fun s ->
-      informed.(s) <- true;
+      Bitset.set informed s;
       state.(s) <- protocol.init ~informed:true)
     sources;
   let selector = Selector.make protocol.selector ~capacity:cap in
   let scratch = Array.make (max (Selector.fanout protocol.selector) 1) 0 in
   (* Per-round decision cache: [decide] runs once per informed node. *)
-  let dec = Array.make cap Protocol.silent in
+  let dec_push = Bitset.create cap in
+  let dec_pull = Bitset.create cap in
   let stamp = Array.make cap (-1) in
   (* Newly-informed set, applied at the end of the round so a node never
      forwards a rumor in the round it first receives it. *)
-  let pending = Array.make cap false in
+  let pending = Bitset.create cap in
   let pending_ids = Array.make cap 0 in
   let pending_len = ref 0 in
   let mark v =
-    if not pending.(v) then begin
-      pending.(v) <- true;
+    if not (Bitset.get pending v) then begin
+      Bitset.set pending v;
       pending_ids.(!pending_len) <- v;
       incr pending_len
     end
@@ -100,41 +101,133 @@ let run ?(fault = Fault.none) ?(collect_trace = false) ?(stop_when_complete = fa
   and total_pull = ref 0
   and total_channels = ref 0 in
   let completion = ref None in
+  (* Census. When [on_round_end] is absent, [topology.alive] cannot
+     change mid-run (churn is the only client that mutates it), so the
+     live/know counts are maintained incrementally at the only events
+     that move them — crash, recovery, receipt, reset — instead of
+     rescanning the whole population every round. [down_informed]
+     counts informed crashed nodes: while any can still recover the
+     system must not be declared quiet. Under churn ([on_round_end]
+     present) the engine falls back to the original full per-round
+     census; none of this draws randomness, so both paths replay
+     identical trajectories. *)
+  let census_incremental = on_round_end = None in
+  let live = ref 0 and know = ref 0 and down_informed = ref 0 in
+  if census_incremental then
+    for v = 0 to cap - 1 do
+      if topology.alive v then begin
+        incr live;
+        if Bitset.get informed v then incr know
+      end
+    done;
+  let on_crash =
+    if census_incremental then
+      Some
+        (fun v ->
+          decr live;
+          if Bitset.get informed v then begin
+            decr know;
+            incr down_informed
+          end)
+    else None
+  in
   let on_recover =
     (* Recovery amnesia: the node lost its volatile state while it was
-       down and re-enters the uninformed census. *)
+       down and re-enters the uninformed census. Nodes only crash while
+       alive and active, so a recovering node is alive here. *)
     if forget_on_recover then
       Some
         (fun v ->
-          informed.(v) <- false;
+          if census_incremental then begin
+            incr live;
+            if Bitset.get informed v then decr down_informed
+          end;
+          Bitset.clear informed v;
           state.(v) <- protocol.init ~informed:false)
+    else if census_incremental then
+      Some
+        (fun v ->
+          incr live;
+          if Bitset.get informed v then begin
+            incr know;
+            decr down_informed
+          end)
     else None
+  in
+  let informed_fn v = Bitset.get informed v in
+  (* Decision cache accessors, hoisted out of the round loop (the
+     closures close over [cur_round] instead of the round variable). *)
+  let cur_round = ref 0 in
+  let decide_at v =
+    let r = !cur_round in
+    let logical = r - skew v in
+    let d =
+      if logical < 1 then Protocol.silent
+      else protocol.decide state.(v) ~round:logical
+    in
+    Bitset.assign dec_push v d.push;
+    Bitset.assign dec_pull v d.pull;
+    stamp.(v) <- r
+  in
+  let push_of v =
+    if stamp.(v) <> !cur_round then decide_at v;
+    Bitset.get dec_push v
+  in
+  let pull_of v =
+    if stamp.(v) <> !cur_round then decide_at v;
+    Bitset.get dec_pull v
+  in
+  (* Quiescence is a pure conjunction over informed live nodes, so the
+     scan may exit at the first talkative node; remembering that node
+     as a witness makes the steady-state check O(1) — it stays
+     talkative round after round until the protocol winds down, and
+     only then does a full scan run (right before the loop stops). *)
+  let witness = ref 0 in
+  let quiet_at r v =
+    let logical = r + 1 - skew v in
+    logical >= 1 && protocol.quiescent state.(v) ~round:logical
+  in
+  let all_quiet_fast r =
+    if Fault.may_recover frt && !down_informed > 0 then false
+    else begin
+      let w = !witness in
+      if
+        w < cap && topology.alive w && Fault.active frt w
+        && Bitset.get informed w
+        && not (quiet_at r w)
+      then false
+      else begin
+        let v = ref 0 and quiet = ref true in
+        while !quiet && !v < cap do
+          let u = !v in
+          if
+            topology.alive u && Fault.active frt u && Bitset.get informed u
+            && not (quiet_at r u)
+          then begin
+            quiet := false;
+            witness := u
+          end;
+          incr v
+        done;
+        !quiet
+      end
+    end
   in
   let round = ref 0 in
   let stop = ref false in
   while (not !stop) && !round < protocol.horizon + max_skew do
     incr round;
     let r = !round in
-    Fault.begin_round ?on_recover frt ~rng ~round:r ~degree:topology.degree
-      ~alive:topology.alive
-      ~informed:(fun v -> informed.(v));
-    let decision_of v =
-      if stamp.(v) <> r then begin
-        let logical = r - skew v in
-        dec.(v) <-
-          (if logical < 1 then Protocol.silent
-           else protocol.decide state.(v) ~round:logical);
-        stamp.(v) <- r
-      end;
-      dec.(v)
-    in
+    cur_round := r;
+    Fault.begin_round ?on_recover ?on_crash frt ~rng ~round:r
+      ~degree:topology.degree ~alive:topology.alive ~informed:informed_fn;
     let push_now = ref 0 and pull_now = ref 0 and channels_now = ref 0 in
     for u = 0 to cap - 1 do
       if
         topology.alive u && Fault.active frt u
         && (match gate with
            | None -> true
-           | Some g -> g ~informed:informed.(u) ~node:u ~round:r)
+           | Some g -> g ~informed:(Bitset.get informed u) ~node:u ~round:r)
       then begin
         let d = topology.degree u in
         if d > 0 then begin
@@ -144,17 +237,21 @@ let run ?(fault = Fault.none) ?(collect_trace = false) ?(stop_when_complete = fa
             if topology.alive w && Fault.active frt w && Fault.open_ok frt rng
             then begin
               incr channels_now;
-              if informed.(u) && (decision_of u).push
+              if Bitset.get informed u && push_of u
                  && Fault.push_ok frt rng ~sender:u
               then begin
                 incr push_now;
-                if informed.(w) || pending.(w) then record_dup u else mark w
+                if Bitset.get informed w || Bitset.get pending w then
+                  record_dup u
+                else mark w
               end;
-              if informed.(w) && (decision_of w).pull
+              if Bitset.get informed w && pull_of w
                  && Fault.pull_ok frt rng ~sender:w
               then begin
                 incr pull_now;
-                if informed.(u) || pending.(u) then record_dup w else mark u
+                if Bitset.get informed u || Bitset.get pending u then
+                  record_dup w
+                else mark u
               end
             end
           done
@@ -164,11 +261,15 @@ let run ?(fault = Fault.none) ?(collect_trace = false) ?(stop_when_complete = fa
     let newly = !pending_len in
     for i = 0 to !pending_len - 1 do
       let v = pending_ids.(i) in
-      pending.(v) <- false;
-      informed.(v) <- true;
+      Bitset.clear pending v;
+      Bitset.set informed v;
       state.(v) <- protocol.receive state.(v) ~round:(max 0 (r - skew v))
     done;
     pending_len := 0;
+    (* Every marked node was alive and active when marked (both are
+       checked before a channel carries anything, and crashes land only
+       at round start), so the incremental count moves by [newly]. *)
+    if census_incremental then know := !know + newly;
     for i = 0 to !dup_len - 1 do
       let v = dup_ids.(i) in
       let logical = max 0 (r - skew v) in
@@ -189,30 +290,41 @@ let run ?(fault = Fault.none) ?(collect_trace = false) ?(stop_when_complete = fa
         List.iter
           (fun v ->
             if v >= 0 && v < cap then begin
-              informed.(v) <- false;
+              if census_incremental && Bitset.get informed v
+                 && topology.alive v
+              then
+                if Fault.active frt v then decr know else decr down_informed;
+              Bitset.clear informed v;
               state.(v) <- protocol.init ~informed:false
             end)
           (f ())
     | None -> ());
-    (* Census after any churn: completion means every live node knows. *)
-    let live = ref 0 and know = ref 0 and all_quiet = ref true in
-    for v = 0 to cap - 1 do
-      if topology.alive v then begin
-        if Fault.active frt v then begin
-          incr live;
-          if informed.(v) then begin
-            incr know;
-            let logical = r + 1 - skew v in
-            if logical < 1 || not (protocol.quiescent state.(v) ~round:logical)
-            then all_quiet := false
+    let all_quiet =
+      if census_incremental then all_quiet_fast r
+      else begin
+        (* Census after churn: [alive] may have changed arbitrarily, so
+           recount; completion means every live node knows. *)
+        live := 0;
+        know := 0;
+        let quiet = ref true in
+        for v = 0 to cap - 1 do
+          if topology.alive v then begin
+            if Fault.active frt v then begin
+              incr live;
+              if Bitset.get informed v then begin
+                incr know;
+                if not (quiet_at r v) then quiet := false
+              end
+            end
+            else if Bitset.get informed v && Fault.may_recover frt then
+              (* An informed crashed node may come back and resume its
+                 schedule; don't declare the system quiet without it. *)
+              quiet := false
           end
-        end
-        else if informed.(v) && Fault.may_recover frt then
-          (* An informed crashed node may come back and resume its
-             schedule; don't declare the system quiet without it. *)
-          all_quiet := false
+        done;
+        !quiet
       end
-    done;
+    in
     (match trace with
     | Some t ->
         Trace.add t
@@ -226,7 +338,7 @@ let run ?(fault = Fault.none) ?(collect_trace = false) ?(stop_when_complete = fa
           }
     | None -> ());
     if !completion = None && !live > 0 && !know = !live then completion := Some r;
-    if !all_quiet then stop := true;
+    if all_quiet then stop := true;
     if stop_when_complete && !completion <> None then stop := true
   done;
   let live = ref 0 and know = ref 0 in
@@ -235,7 +347,7 @@ let run ?(fault = Fault.none) ?(collect_trace = false) ?(stop_when_complete = fa
     if topology.alive v then
       if Fault.active frt v then begin
         incr live;
-        if informed.(v) then incr know
+        if Bitset.get informed v then incr know
       end
       else down := v :: !down
   done;
@@ -247,7 +359,7 @@ let run ?(fault = Fault.none) ?(collect_trace = false) ?(stop_when_complete = fa
     push_tx = !total_push;
     pull_tx = !total_pull;
     channels = !total_channels;
-    knows = informed;
+    knows = Bitset.to_bool_array informed;
     down = !down;
     repair = [];
     trace;

@@ -122,6 +122,14 @@ val run :
     [reset] is drained right after [on_round_end]; the returned node
     ids (fresh churn joins, possibly reusing the id of a departed peer)
     are restarted uninformed. Out-of-range ids are ignored.
+
+    Performance note: without [on_round_end] the engine assumes
+    [topology.alive] is stable between rounds and maintains its
+    live/informed census incrementally from mark, reset and
+    crash/recover events (see {!Fault.begin_round}); installing
+    [on_round_end] switches to a full per-round census so churn that
+    mutates liveness stays correct. Both paths draw identical
+    randomness and produce bit-identical results.
     @raise Invalid_argument if [sources] is empty or contains a dead or
     out-of-range id. *)
 

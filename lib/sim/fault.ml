@@ -123,7 +123,7 @@ let may_recover rt = rt.plan.recover_rate > 0.
 let down_count rt =
   Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 rt.down
 
-let apply_strike rt ~rng ~degree ~alive ~informed s =
+let apply_strike ?on_crash rt ~rng ~degree ~alive ~informed s =
   let eligible v =
     alive v && not rt.down.(v)
     && match s.adversary with Frontier -> informed v | _ -> true
@@ -137,13 +137,18 @@ let apply_strike rt ~rng ~degree ~alive ~informed s =
   (match s.adversary with
   | Highest_degree ->
       (* deterministic: degree descending, id ascending on ties *)
-      Array.sort (fun a b -> compare (degree b, a) (degree a, b)) arr
+      Array.sort
+        (fun a b ->
+          let c = Int.compare (degree b) (degree a) in
+          if c <> 0 then c else Int.compare a b)
+        arr
   | Random_nodes | Frontier -> Rng.shuffle_prefix rng arr k);
   for i = 0 to k - 1 do
-    rt.down.(arr.(i)) <- true
+    rt.down.(arr.(i)) <- true;
+    match on_crash with Some f -> f arr.(i) | None -> ()
   done
 
-let begin_round ?on_recover rt ~rng ~round ~degree ~alive ~informed =
+let begin_round ?on_recover ?on_crash rt ~rng ~round ~degree ~alive ~informed =
   if Array.length rt.bad > 0 then
     for v = 0 to rt.capacity - 1 do
       if rt.bad.(v) then begin
@@ -163,11 +168,14 @@ let begin_round ?on_recover rt ~rng ~round ~degree ~alive ~informed =
       for v = 0 to rt.capacity - 1 do
         if alive v && (not rt.down.(v))
            && Rng.bernoulli rng rt.plan.crash_rate
-        then rt.down.(v) <- true
+        then begin
+          rt.down.(v) <- true;
+          match on_crash with Some f -> f v | None -> ()
+        end
       done;
     match rt.plan.strike with
     | Some s when s.at_round = round ->
-        apply_strike rt ~rng ~degree ~alive ~informed s
+        apply_strike ?on_crash rt ~rng ~degree ~alive ~informed s
     | Some _ | None -> ()
   end
 

@@ -115,6 +115,7 @@ val start : t -> capacity:int -> runtime
 
 val begin_round :
   ?on_recover:(int -> unit) ->
+  ?on_crash:(int -> unit) ->
   runtime ->
   rng:Rumor_rng.Rng.t ->
   round:int ->
@@ -127,7 +128,12 @@ val begin_round :
     [round] matches. Draws nothing for modes the plan leaves off.
     [on_recover] fires once per node the moment it comes back up — the
     engine uses it to model recovery amnesia (the recovered node
-    re-enters the uninformed census instead of keeping stale state). *)
+    re-enters the uninformed census instead of keeping stale state).
+    [on_crash] fires once per node the moment it goes down (rate crashes
+    and strikes alike) — the engine maintains its live/informed census
+    counters incrementally from these events instead of rescanning the
+    population every round. Neither callback draws randomness, so
+    installing them cannot perturb the fault stream. *)
 
 val active : runtime -> int -> bool
 (** [active rt v] — node [v] has not crashed (or has recovered). *)

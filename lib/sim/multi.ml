@@ -37,17 +37,45 @@ let run ?(fault = Fault.none) ~rng ~topology ~protocol ~messages () =
   let k = Array.length msgs in
   (* Per-message per-node state, informed flags and accounting. *)
   let state = Array.init k (fun _ -> Array.init cap (fun _ -> protocol.init ~informed:false)) in
-  let informed = Array.make_matrix k cap false in
+  let informed = Array.init k (fun _ -> Bitset.create cap) in
   let tx = Array.make k 0 in
   let completion = Array.make k None in
   let selector = Selector.make protocol.selector ~capacity:cap in
   let scratch = Array.make (max (Selector.fanout protocol.selector) 1) 0 in
   (* Decision cache per (message, node, round). *)
-  let dec = Array.make_matrix k cap Protocol.silent in
+  let dec_push = Array.init k (fun _ -> Bitset.create cap) in
+  let dec_pull = Array.init k (fun _ -> Bitset.create cap) in
   let stamp = Array.make_matrix k cap (-1) in
-  let pending = Array.make_matrix k cap false in
-  let pending_ids = Array.make cap 0 in
+  let pending = Array.init k (fun _ -> Bitset.create cap) in
+  let pending_ids = Array.make_matrix k cap 0 in
+  let pending_len = Array.make k 0 in
   let channels = ref 0 in
+  (* [Multi] has no churn or crash hook, so [topology.alive] is stable
+     for the whole run: census the population once and keep a per-message
+     informed count incrementally (receiving nodes are always behind a
+     channel whose liveness was just checked). *)
+  let live = ref 0 in
+  for v = 0 to cap - 1 do
+    if topology.alive v then incr live
+  done;
+  let live = !live in
+  let know = Array.make k 0 in
+  let witness = Array.make k 0 in
+  let cur_round = ref 0 in
+  let decide_at j v logical =
+    let d = protocol.decide state.(j).(v) ~round:logical in
+    Bitset.assign dec_push.(j) v d.push;
+    Bitset.assign dec_pull.(j) v d.pull;
+    stamp.(j).(v) <- !cur_round
+  in
+  let push_of j v logical =
+    if stamp.(j).(v) <> !cur_round then decide_at j v logical;
+    Bitset.get dec_push.(j) v
+  in
+  let pull_of j v logical =
+    if stamp.(j).(v) <> !cur_round then decide_at j v logical;
+    Bitset.get dec_pull.(j) v
+  in
   let horizon =
     Array.fold_left (fun acc m -> max acc (m.created + protocol.horizon)) 0 msgs
   in
@@ -56,21 +84,16 @@ let run ?(fault = Fault.none) ~rng ~topology ~protocol ~messages () =
   while (not !stop) && !round < horizon do
     incr round;
     let r = !round in
+    cur_round := r;
     (* Inject rumors created at the end of the previous round. *)
     Array.iteri
       (fun j m ->
-        if m.created = r - 1 && not informed.(j).(m.source) then begin
-          informed.(j).(m.source) <- true;
-          state.(j).(m.source) <- protocol.init ~informed:true
+        if m.created = r - 1 && not (Bitset.get informed.(j) m.source) then begin
+          Bitset.set informed.(j) m.source;
+          state.(j).(m.source) <- protocol.init ~informed:true;
+          know.(j) <- know.(j) + 1
         end)
       msgs;
-    let decision_of j v logical =
-      if stamp.(j).(v) <> r then begin
-        dec.(j).(v) <- protocol.decide state.(j).(v) ~round:logical;
-        stamp.(j).(v) <- r
-      end;
-      dec.(j).(v)
-    in
     (* One shared channel set for the round. *)
     for u = 0 to cap - 1 do
       if topology.alive u then begin
@@ -84,21 +107,29 @@ let run ?(fault = Fault.none) ~rng ~topology ~protocol ~messages () =
               for j = 0 to k - 1 do
                 let logical = r - msgs.(j).created in
                 if logical >= 1 then begin
-                  if informed.(j).(u) && (decision_of j u logical).push
+                  if Bitset.get informed.(j) u && push_of j u logical
                      && Fault.delivery_ok ~dir:`Push fault rng
                   then begin
                     tx.(j) <- tx.(j) + 1;
-                    if informed.(j).(w) then
+                    if Bitset.get informed.(j) w then
                       state.(j).(u) <- protocol.feedback state.(j).(u) ~round:logical
-                    else pending.(j).(w) <- true
+                    else if not (Bitset.get pending.(j) w) then begin
+                      Bitset.set pending.(j) w;
+                      pending_ids.(j).(pending_len.(j)) <- w;
+                      pending_len.(j) <- pending_len.(j) + 1
+                    end
                   end;
-                  if informed.(j).(w) && (decision_of j w logical).pull
+                  if Bitset.get informed.(j) w && pull_of j w logical
                      && Fault.delivery_ok ~dir:`Pull fault rng
                   then begin
                     tx.(j) <- tx.(j) + 1;
-                    if informed.(j).(u) then
+                    if Bitset.get informed.(j) u then
                       state.(j).(w) <- protocol.feedback state.(j).(w) ~round:logical
-                    else pending.(j).(u) <- true
+                    else if not (Bitset.get pending.(j) u) then begin
+                      Bitset.set pending.(j) u;
+                      pending_ids.(j).(pending_len.(j)) <- u;
+                      pending_len.(j) <- pending_len.(j) + 1
+                    end
                   end
                 end
               done
@@ -110,52 +141,57 @@ let run ?(fault = Fault.none) ~rng ~topology ~protocol ~messages () =
     (* Apply receipts per message. *)
     for j = 0 to k - 1 do
       let logical = r - msgs.(j).created in
-      let count = ref 0 in
-      for v = 0 to cap - 1 do
-        if pending.(j).(v) then begin
-          pending.(j).(v) <- false;
-          pending_ids.(!count) <- v;
-          incr count
-        end
-      done;
-      for i = 0 to !count - 1 do
-        let v = pending_ids.(i) in
-        informed.(j).(v) <- true;
+      for i = 0 to pending_len.(j) - 1 do
+        let v = pending_ids.(j).(i) in
+        Bitset.clear pending.(j) v;
+        Bitset.set informed.(j) v;
         state.(j).(v) <- protocol.receive state.(j).(v) ~round:logical
-      done
+      done;
+      know.(j) <- know.(j) + pending_len.(j);
+      pending_len.(j) <- 0
     done;
-    (* Census: completions and global quiescence. *)
-    let live = ref 0 in
-    for v = 0 to cap - 1 do
-      if topology.alive v then incr live
-    done;
+    (* Census: completions from the incremental counts; quiescence by
+       early-exit scan, seeded with the last talkative node (see the
+       witness rationale in {!Engine}). *)
     let all_quiet = ref true in
     for j = 0 to k - 1 do
-      let logical = r - msgs.(j).created in
-      let know = ref 0 in
-      for v = 0 to cap - 1 do
-        if topology.alive v && informed.(j).(v) then begin
-          incr know;
-          if logical >= 0
-             && not (protocol.quiescent state.(j).(v) ~round:(logical + 1))
-          then all_quiet := false
+      if completion.(j) = None && live > 0 && know.(j) = live then
+        completion.(j) <- Some r;
+      if msgs.(j).created >= r then all_quiet := false
+      else if !all_quiet then begin
+        let logical = r - msgs.(j).created in
+        let quiet_at v =
+          logical < 0
+          || protocol.quiescent state.(j).(v) ~round:(logical + 1)
+        in
+        let wt = witness.(j) in
+        if
+          wt < cap && topology.alive wt
+          && Bitset.get informed.(j) wt
+          && not (quiet_at wt)
+        then all_quiet := false
+        else begin
+          let v = ref 0 in
+          while !all_quiet && !v < cap do
+            let u = !v in
+            if topology.alive u && Bitset.get informed.(j) u
+               && not (quiet_at u)
+            then begin
+              all_quiet := false;
+              witness.(j) <- u
+            end;
+            incr v
+          done
         end
-      done;
-      if msgs.(j).created >= r then all_quiet := false;
-      if completion.(j) = None && !live > 0 && !know = !live then
-        completion.(j) <- Some r
+      end
     done;
     if !all_quiet then stop := true
-  done;
-  let live = ref 0 in
-  for v = 0 to cap - 1 do
-    if topology.alive v then incr live
   done;
   let messages =
     Array.init k (fun j ->
         let know = ref 0 in
         for v = 0 to cap - 1 do
-          if topology.alive v && informed.(j).(v) then incr know
+          if topology.alive v && Bitset.get informed.(j) v then incr know
         done;
         {
           completion_round = completion.(j);
@@ -166,6 +202,6 @@ let run ?(fault = Fault.none) ~rng ~topology ~protocol ~messages () =
   {
     rounds = !round;
     channels = !channels;
-    population = !live;
+    population = live;
     messages;
   }

@@ -1,6 +1,9 @@
 type decision = { push : bool; pull : bool }
 
 let silent = { push = false; pull = false }
+let push_only = { push = true; pull = false }
+let pull_only = { push = false; pull = true }
+let push_pull = { push = true; pull = true }
 
 type 'st t = {
   name : string;

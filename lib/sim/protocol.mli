@@ -16,6 +16,15 @@ type decision = { push : bool; pull : bool }
 val silent : decision
 (** Neither push nor pull. *)
 
+val push_only : decision
+val pull_only : decision
+
+val push_pull : decision
+(** Shared decision records. [decide] runs once per informed node per
+    round, so protocols should return these preallocated constants
+    instead of building fresh records — steady-state rounds then
+    allocate nothing. *)
+
 type 'st t = {
   name : string;  (** for reports and tables *)
   selector : Selector.spec;  (** how nodes choose whom to call *)

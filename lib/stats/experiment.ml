@@ -5,9 +5,19 @@ let replicate ~seed ~reps f =
   let base = Rng.create seed in
   List.init reps (fun i -> f (Rng.fork base i))
 
-let replicate_parallel ?(domains = 4) ~seed ~reps f =
+(* Capped: replication workers are compute-bound, so more domains than
+   cores only adds scheduling noise, and past ~8 the per-domain minor
+   heaps start to crowd small machines. *)
+let default_domains () = max 1 (min 8 (Domain.recommended_domain_count ()))
+
+let replicate_parallel ?domains ~seed ~reps f =
   if reps < 1 then invalid_arg "Experiment.replicate: reps < 1";
-  let domains = max 1 (min domains reps) in
+  let domains =
+    match domains with
+    | Some d when d >= 1 -> min d reps
+    | Some _ -> invalid_arg "Experiment.replicate_parallel: domains < 1"
+    | None -> min (default_domains ()) reps
+  in
   if domains = 1 then replicate ~seed ~reps f
   else begin
     let base = Rng.create seed in

@@ -11,11 +11,20 @@ val replicate :
     independent stream forked from [seed].
     @raise Invalid_argument if [reps < 1]. *)
 
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()] capped to [\[1, 8\]] — the
+    domain count {!replicate_parallel} uses when none is given. *)
+
 val replicate_parallel :
   ?domains:int -> seed:int -> reps:int -> (Rumor_rng.Rng.t -> 'a) -> 'a list
 (** Same results as {!replicate} (bit-for-bit: repetition [i] always
-    gets stream [fork seed i]), computed on up to [domains] (default 4)
-    OCaml domains. [f] must not share mutable state across calls. *)
+    gets stream [fork seed i], pre-forked before any domain starts, so
+    results cannot depend on scheduling), computed on up to [domains]
+    (default {!default_domains}) OCaml domains. This is the default
+    replication path of the bench harness and the sweep-style
+    subcommands; pass [~domains:1] to force the sequential code path.
+    [f] must not share mutable state across calls.
+    @raise Invalid_argument if [reps < 1] or [domains < 1]. *)
 
 val summarize :
   seed:int -> reps:int -> (Rumor_rng.Rng.t -> float) -> Summary.t
