@@ -3,14 +3,17 @@
    Subcommands:
      generate    sample a graph and print its structural statistics
      broadcast   run one broadcast and report time/transmissions
+     multi       broadcast several rumors over shared channels
+     async       one broadcast under Poisson clocks (no lockstep rounds)
      sweep       repeat a broadcast over sizes and seeds, print a table
      churn       broadcast over a dynamic overlay with join/leave
      heal        self-healing broadcast under a hostile fault+churn plan
      bench-check validate a BENCH_*.json telemetry file
 
-   broadcast, sweep and robustness take --json to emit one structured
-   JSON document on stdout instead of the human tables; broadcast also
-   takes --trace-out FILE for an NDJSON per-round dump. *)
+   broadcast, multi, async, sweep and robustness take --json to emit one
+   structured JSON document on stdout instead of the human tables;
+   broadcast, multi and async also take --trace-out FILE for an NDJSON
+   per-round dump. *)
 
 module Rng = Rumor_rng.Rng
 module Graph = Rumor_graph.Graph
@@ -215,6 +218,174 @@ let broadcast_cmd =
     Term.(
       const broadcast $ seed_arg $ n_arg $ d_arg $ topology_arg $ protocol_arg
       $ alpha_arg $ fanout_arg $ loss_arg $ trace_arg $ graph_in_arg $ json_arg
+      $ trace_out_arg)
+
+(* --- multi --- *)
+
+let messages_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "messages" ] ~docv:"K"
+        ~doc:"Number of rumors sharing each round's channel set.")
+
+let spacing_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "spacing" ] ~docv:"S"
+        ~doc:
+          "Rounds between consecutive rumor creation times (rumor $(i,j) is \
+           created at the end of round $(i,j)·$(docv)).")
+
+let multi seed n d topology protocol alpha fanout loss messages spacing json
+    trace_out =
+  let rng = Rng.create seed in
+  let g = Rumor_cli.Scenario.make_graph ~rng ~topology ~n ~d in
+  let n_real = Graph.n g in
+  let p =
+    Rumor_cli.Scenario.make_protocol ~protocol ~n:n_real ~d ~alpha ~fanout ()
+  in
+  if messages < 1 then (
+    Printf.eprintf "multi: --messages must be >= 1\n";
+    exit 2);
+  let msgs =
+    List.init messages (fun j ->
+        { Rumor_sim.Multi.source = Run.random_source rng g;
+          created = j * spacing })
+  in
+  let fault = Fault.make ~link_loss:loss () in
+  let collect_trace = trace_out <> None in
+  let res =
+    Rumor_sim.Multi.run ~fault ~collect_trace ~rng
+      ~topology:(Rumor_sim.Topology.of_graph g) ~protocol:p ~messages:msgs ()
+  in
+  (match (res.Rumor_sim.Multi.trace, trace_out) with
+  | Some t, Some path ->
+      let oc = open_out path in
+      output_string oc (Encode.trace_ndjson t);
+      close_out oc;
+      if not json then
+        Printf.printf "wrote trace %s (%d rounds)\n" path (Trace.length t)
+  | _ -> ());
+  if json then
+    print_endline
+      (Json.to_string ~minify:false
+         (Json.Obj
+            [
+              ("command", Json.String "multi");
+              ("seed", Json.Int seed);
+              ("topology", Json.String topology);
+              ("n", Json.Int n_real);
+              ("d", Json.Int d);
+              ("protocol", Json.String p.Rumor_sim.Protocol.name);
+              ("spacing", Json.Int spacing);
+              ("link_loss", Json.Float loss);
+              ("result", Encode.multi_result res);
+            ]))
+  else begin
+    Printf.printf "protocol     %s\n" p.Rumor_sim.Protocol.name;
+    Printf.printf "rumors       %d (spacing %d)\n" messages spacing;
+    Printf.printf "rounds run   %d\n" res.Rumor_sim.Multi.rounds;
+    Printf.printf "channels     %d (shared by all rumors)\n"
+      res.Rumor_sim.Multi.channels;
+    Array.iteri
+      (fun j (m : Rumor_sim.Multi.message_result) ->
+        Printf.printf "rumor %-2d     informed %d / %d, tx %d, completion %s\n"
+          j m.Rumor_sim.Multi.informed res.Rumor_sim.Multi.population
+          m.Rumor_sim.Multi.transmissions
+          (match m.Rumor_sim.Multi.completion_round with
+          | Some r -> Printf.sprintf "round %d" r
+          | None -> "never"))
+      res.Rumor_sim.Multi.messages
+  end;
+  if Rumor_sim.Multi.all_complete res then 0 else 1
+
+let multi_cmd =
+  let info =
+    Cmd.info "multi"
+      ~doc:
+        "Broadcast several rumors over shared channels (the paper's \
+         frequently-generated-messages model)."
+  in
+  Cmd.v info
+    Term.(
+      const multi $ seed_arg $ n_arg $ d_arg $ topology_arg $ protocol_arg
+      $ alpha_arg $ fanout_arg $ loss_arg $ messages_arg $ spacing_arg
+      $ json_arg $ trace_out_arg)
+
+(* --- async --- *)
+
+let oracle_stop_arg =
+  Arg.(
+    value & flag
+    & info [ "oracle-stop" ]
+        ~doc:
+          "Stop as soon as every node is informed (oracle-stopped \
+           accounting) instead of waiting for quiescence.")
+
+let async seed n d topology protocol alpha fanout loss oracle_stop json
+    trace_out =
+  let rng = Rng.create seed in
+  let g = Rumor_cli.Scenario.make_graph ~rng ~topology ~n ~d in
+  let n_real = Graph.n g in
+  let p =
+    Rumor_cli.Scenario.make_protocol ~protocol ~n:n_real ~d ~alpha ~fanout ()
+  in
+  let fault = Fault.make ~link_loss:loss () in
+  let collect_trace = trace_out <> None in
+  let res =
+    Rumor_sim.Async.run ~fault ~stop_when_complete:oracle_stop ~collect_trace
+      ~rng ~graph:g ~protocol:p ~sources:[ Run.random_source rng g ] ()
+  in
+  (match (res.Rumor_sim.Async.trace, trace_out) with
+  | Some t, Some path ->
+      let oc = open_out path in
+      output_string oc (Encode.trace_ndjson t);
+      close_out oc;
+      if not json then
+        Printf.printf "wrote trace %s (%d time units)\n" path (Trace.length t)
+  | _ -> ());
+  if json then
+    print_endline
+      (Json.to_string ~minify:false
+         (Json.Obj
+            [
+              ("command", Json.String "async");
+              ("seed", Json.Int seed);
+              ("topology", Json.String topology);
+              ("n", Json.Int n_real);
+              ("d", Json.Int d);
+              ("protocol", Json.String p.Rumor_sim.Protocol.name);
+              ("link_loss", Json.Float loss);
+              ("result", Encode.async_result res);
+            ]))
+  else begin
+    Printf.printf "protocol     %s\n" p.Rumor_sim.Protocol.name;
+    Printf.printf "informed     %d / %d (%s)\n" res.Rumor_sim.Async.informed
+      n_real
+      (if res.Rumor_sim.Async.informed = n_real then "complete"
+       else "INCOMPLETE");
+    (match res.Rumor_sim.Async.completion_time with
+    | Some t -> Printf.printf "completion   time %.3f\n" t
+    | None -> Printf.printf "completion   never\n");
+    Printf.printf "time         %.3f (%d activations)\n"
+      res.Rumor_sim.Async.time res.Rumor_sim.Async.activations;
+    Printf.printf "transmissions %d (%.2f per node)\n"
+      res.Rumor_sim.Async.transmissions
+      (float_of_int res.Rumor_sim.Async.transmissions /. float_of_int n_real)
+  end;
+  if res.Rumor_sim.Async.informed = n_real then 0 else 1
+
+let async_cmd =
+  let info =
+    Cmd.info "async"
+      ~doc:
+        "Run one broadcast under Poisson clocks (asynchronous relaxation of \
+         the round model)."
+  in
+  Cmd.v info
+    Term.(
+      const async $ seed_arg $ n_arg $ d_arg $ topology_arg $ protocol_arg
+      $ alpha_arg $ fanout_arg $ loss_arg $ oracle_stop_arg $ json_arg
       $ trace_out_arg)
 
 (* --- sweep --- *)
@@ -1094,6 +1265,8 @@ let () =
           [
             generate_cmd;
             broadcast_cmd;
+            multi_cmd;
+            async_cmd;
             sweep_cmd;
             churn_cmd;
             estimate_cmd;

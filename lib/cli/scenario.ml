@@ -328,9 +328,7 @@ let run scenario =
     success_rate =
       float_of_int (List.length (List.filter Engine.success results))
       /. float_of_int (List.length results);
-    coverage =
-      of_metric (fun r ->
-          float_of_int r.Engine.informed /. float_of_int r.Engine.population);
+    coverage = of_metric Engine.coverage;
     tx_per_node =
       of_metric (fun r ->
           float_of_int (Engine.transmissions r) /. float_of_int r.Engine.population);

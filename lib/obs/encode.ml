@@ -1,5 +1,7 @@
 module Summary = Rumor_stats.Summary
 module Engine = Rumor_sim.Engine
+module Multi = Rumor_sim.Multi
+module Async = Rumor_sim.Async
 module Trace = Rumor_sim.Trace
 
 let summary (s : Summary.t) =
@@ -58,6 +60,52 @@ let engine_result (r : Engine.result) =
           ("repair_tx", Json.Int (Engine.repair_tx r));
           ("repair", Json.List (List.map epoch_stat epochs));
         ])
+
+let multi_result (r : Multi.result) =
+  Json.Obj
+    ([
+       ("rounds", Json.Int r.Multi.rounds);
+       ("channels", Json.Int r.Multi.channels);
+       ("population", Json.Int r.Multi.population);
+       ("total_tx", Json.Int (Multi.total_transmissions r));
+       ("all_complete", Json.Bool (Multi.all_complete r));
+       ( "messages",
+         Json.List
+           (Array.to_list
+              (Array.map
+                 (fun (m : Multi.message_result) ->
+                   Json.Obj
+                     [
+                       ( "completion_round",
+                         match m.Multi.completion_round with
+                         | Some c -> Json.Int c
+                         | None -> Json.Null );
+                       ("informed", Json.Int m.Multi.informed);
+                       ("transmissions", Json.Int m.Multi.transmissions);
+                     ])
+                 r.Multi.messages)) );
+     ]
+    @
+    match r.Multi.repair with
+    | [] -> []
+    | epochs ->
+        [
+          ("epochs_used", Json.Int (List.length epochs));
+          ("repair", Json.List (List.map epoch_stat epochs));
+        ])
+
+let async_result (r : Async.result) =
+  Json.Obj
+    [
+      ("activations", Json.Int r.Async.activations);
+      ("time", Json.Float r.Async.time);
+      ( "completion_time",
+        match r.Async.completion_time with
+        | Some t -> Json.Float t
+        | None -> Json.Null );
+      ("informed", Json.Int r.Async.informed);
+      ("transmissions", Json.Int r.Async.transmissions);
+    ]
 
 let trace_row (r : Trace.row) =
   Json.Obj

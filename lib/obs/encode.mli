@@ -23,6 +23,17 @@ val engine_result : Rumor_sim.Engine.result -> Json.t
     payload delivery is not telemetry; use {!trace_ndjson} for
     per-round dumps. *)
 
+val multi_result : Rumor_sim.Multi.result -> Json.t
+(** [{rounds, channels, population, total_tx, all_complete,
+     messages: [{completion_round, informed, transmissions}, ...]}];
+    self-healing runs additionally carry
+    [{epochs_used, repair: [epoch_stat, ...]}]. The per-round trace is
+    omitted — use {!trace_ndjson}. *)
+
+val async_result : Rumor_sim.Async.result -> Json.t
+(** [{activations, time, completion_time, informed, transmissions}].
+    The per-unit trace is omitted — use {!trace_ndjson}. *)
+
 val trace_row : Rumor_sim.Trace.row -> Json.t
 (** One per-round record
     [{round, informed, newly, push_tx, pull_tx, channels}]. *)

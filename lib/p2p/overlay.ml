@@ -158,6 +158,7 @@ let to_topology t =
     degree = (fun v -> t.adj.(v).len);
     neighbor = (fun v i -> t.adj.(v).data.(i));
     alive = (fun v -> t.alive.(v));
+    live_count = Some (fun () -> t.live);
   }
 
 let of_graph ~capacity g =

@@ -1,117 +1,24 @@
-module Rng = Rumor_rng.Rng
-module Dist = Rumor_rng.Dist
+(* The asynchronous Poisson-clock driver: a thin wrapper over
+   {!Kernel.run_async} (which shares the selection, fault-sampling,
+   delivery and quiescence machinery with the synchronous kernel). *)
+
 module Graph = Rumor_graph.Graph
 
-type result = {
+type result = Kernel.async_result = {
   activations : int;
   time : float;
   completion_time : float option;
   informed : int;
   transmissions : int;
+  trace : Trace.t option;
 }
 
-let run ?(fault = Fault.none) ?(stop_when_complete = false) ~rng ~graph ~protocol ~sources () =
-  let open Protocol in
+let run ?fault ?stop_when_complete ?collect_trace ?on_round_end ?reset ~rng
+    ~graph ~protocol ~sources () =
   let n = Graph.n graph in
   if sources = [] then invalid_arg "Async.run: no sources";
   List.iter
     (fun s -> if s < 0 || s >= n then invalid_arg "Async.run: bad source")
     sources;
-  let informed = Bitset.create n in
-  let state = Array.init n (fun _ -> protocol.init ~informed:false) in
-  List.iter
-    (fun s ->
-      Bitset.set informed s;
-      state.(s) <- protocol.init ~informed:true)
-    sources;
-  let selector = Selector.make protocol.selector ~capacity:n in
-  let scratch = Array.make (max (Selector.fanout protocol.selector) 1) 0 in
-  let time = ref 0. in
-  let activations = ref 0 in
-  let transmissions = ref 0 in
-  let informed_count = ref (List.length sources) in
-  let completion = ref (if !informed_count = n then Some 0. else None) in
-  let horizon = float_of_int protocol.horizon in
-  let logical () = int_of_float !time + 1 in
-  (* Quiescence is only re-checked occasionally (it costs O(n)); the
-     horizon bounds the run regardless. The scan exits at the first
-     talkative node, checking last time's witness first. *)
-  let witness = ref 0 in
-  let all_quiet () =
-    let round = logical () in
-    let w = !witness in
-    if
-      w < n && Bitset.get informed w
-      && not (protocol.quiescent state.(w) ~round)
-    then false
-    else begin
-      let quiet = ref true in
-      let v = ref 0 in
-      while !quiet && !v < n do
-        let u = !v in
-        if Bitset.get informed u && not (protocol.quiescent state.(u) ~round)
-        then begin
-          quiet := false;
-          witness := u
-        end;
-        incr v
-      done;
-      !quiet
-    end
-  in
-  (* Hoisted out of the activation loop so steady-state activations
-     allocate nothing; [cur_round] carries the logical round. *)
-  let cur_round = ref 1 in
-  let deliver ~sender target =
-    let round = !cur_round in
-    if not (Bitset.get informed target) then begin
-      Bitset.set informed target;
-      state.(target) <- protocol.receive state.(target) ~round;
-      incr informed_count;
-      if !informed_count = n then completion := Some !time
-    end
-    else state.(sender) <- protocol.feedback state.(sender) ~round
-  in
-  let stop = ref false in
-  while (not !stop) && !time < horizon do
-    (* Superposition of n rate-1 clocks: global rate n. *)
-    time := !time +. Dist.exponential rng ~rate:(float_of_int n);
-    if !time < horizon then begin
-      incr activations;
-      let v = Rng.int rng n in
-      let deg = Graph.degree graph v in
-      if deg > 0 then begin
-        let round = logical () in
-        cur_round := round;
-        let k = Selector.select selector ~rng ~node:v ~degree:deg ~out:scratch in
-        for i = 0 to k - 1 do
-          let w = Graph.neighbor graph v scratch.(i) in
-          if Fault.channel_ok fault rng then begin
-            (* push: the activated caller transmits to the callee. *)
-            if Bitset.get informed v && (protocol.decide state.(v) ~round).push
-               && Fault.delivery_ok ~dir:`Push fault rng
-            then begin
-              incr transmissions;
-              deliver ~sender:v w
-            end;
-            (* pull: the callee answers the caller. *)
-            if Bitset.get informed w && (protocol.decide state.(w) ~round).pull
-               && Fault.delivery_ok ~dir:`Pull fault rng
-            then begin
-              incr transmissions;
-              deliver ~sender:w v
-            end
-          end
-        done
-      end;
-      if stop_when_complete && !informed_count = n then stop := true;
-      if !activations mod (4 * n) = 0 && all_quiet () then stop := true
-    end
-  done;
-  {
-    activations = !activations;
-    time = !time;
-    completion_time = !completion;
-    informed = !informed_count;
-    transmissions = !transmissions;
-  }
+  Kernel.run_async ?fault ?stop_when_complete ?collect_trace ?on_round_end
+    ?reset ~rng ~graph ~protocol ~sources ()

@@ -13,20 +13,28 @@
     Comparing {!run} against {!Engine.run} measures how much of the
     paper's analysis survives without the synchrony assumption
     (ablation A2 stresses bounded skew; this module removes lockstep
-    entirely). *)
+    entirely). The implementation is {!Kernel.run_async}, which shares
+    the selection, fault-sampling, delivery and quiescence machinery
+    with the synchronous kernel. *)
 
-type result = {
+type result = Kernel.async_result = {
   activations : int;  (** node activations executed *)
   time : float;  (** continuous time at the end of the run *)
   completion_time : float option;
       (** time at which the last node became informed *)
   informed : int;
   transmissions : int;  (** deliveries, counted as in {!Engine} *)
+  trace : Trace.t option;
+      (** one row per elapsed unit of continuous time (= logical round)
+          when requested, final partial unit included *)
 }
 
 val run :
   ?fault:Fault.t ->
   ?stop_when_complete:bool ->
+  ?collect_trace:bool ->
+  ?on_round_end:(int -> unit) ->
+  ?reset:(unit -> int list) ->
   rng:Rumor_rng.Rng.t ->
   graph:Rumor_graph.Graph.t ->
   protocol:'st Protocol.t ->
@@ -34,15 +42,17 @@ val run :
   unit ->
   result
 (** [run ~protocol ~sources ()] executes activations in Poisson order
-    until every informed node is quiescent at its current logical round
-    or continuous time exceeds the protocol's [horizon] (in time
-    units); [stop_when_complete] (default false) additionally stops as
-    soon as everyone is informed — the oracle-stopped accounting used
-    for baselines. Only the [Uniform] selector is meaningful per-activation;
-    stateful selectors are accepted and keep their per-node state
-    across activations. [fault] is sampled through the stateless view
-    ({!Fault.channel_ok}, {!Fault.delivery_ok} with the transmission's
-    direction): independent failures and asymmetric push/pull loss
-    apply; burst and crash modes need {!Engine.run}'s runtime and are
-    ignored here.
+    to the kernel's stopping rule (quiescence at the current logical
+    round, continuous time [protocol.horizon], or — with
+    [stop_when_complete] — the oracle-stopped accounting; see
+    {!Kernel}). Only the [Uniform] selector is meaningful
+    per-activation; stateful selectors are accepted and keep their
+    per-node state across activations. [fault] is sampled through the
+    stateless view ({!Fault.channel_ok}, {!Fault.delivery_ok} with the
+    transmission's direction): independent failures and asymmetric
+    push/pull loss apply; burst and crash modes need a fault runtime
+    ({!Kernel.Full}, as driven by {!Engine.run}) and are ignored here.
+    [on_round_end] and [reset] fire at each integer time-unit boundary
+    the run crosses — the asynchronous analogue of a round end; ids
+    returned by [reset] restart uninformed.
     @raise Invalid_argument if [sources] is empty or out of range. *)

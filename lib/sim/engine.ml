@@ -1,6 +1,7 @@
-module Rng = Rumor_rng.Rng
+(* The synchronous single-rumor driver: one kernel table under a full
+   fault runtime. All round machinery lives in {!Kernel}. *)
 
-type epoch_stat = {
+type epoch_stat = Kernel.epoch_stat = {
   epoch : int;
   epoch_rounds : int;
   epoch_informed : int;
@@ -37,429 +38,56 @@ let coverage r =
   if r.population = 0 then 0.
   else float_of_int r.informed /. float_of_int r.population
 
-let run ?(fault = Fault.none) ?(collect_trace = false) ?(stop_when_complete = false)
-    ?gate ?(forget_on_recover = false) ?reset ?on_round_end ?skew ~rng ~topology
-    ~protocol ~sources () =
-  let open Topology in
-  let open Protocol in
-  let cap = topology.capacity in
-  let skew = match skew with Some f -> f | None -> fun _ -> 0 in
-  let max_skew =
-    let worst = ref 0 in
-    for v = 0 to cap - 1 do
-      if skew v > !worst then worst := skew v
-    done;
-    !worst
-  in
-  if sources = [] then invalid_arg "Engine.run: no sources";
+let validate ~where ~topology sources =
+  let cap = topology.Topology.capacity in
+  if sources = [] then invalid_arg (where ^ ": no sources");
   List.iter
     (fun s ->
-      if s < 0 || s >= cap || not (topology.alive s) then
-        invalid_arg "Engine.run: bad source")
-    sources;
-  let informed = Bitset.create cap in
-  let state = Array.init cap (fun _ -> protocol.init ~informed:false) in
-  List.iter
-    (fun s ->
-      Bitset.set informed s;
-      state.(s) <- protocol.init ~informed:true)
-    sources;
-  let selector = Selector.make protocol.selector ~capacity:cap in
-  let scratch = Array.make (max (Selector.fanout protocol.selector) 1) 0 in
-  (* Per-round decision cache: [decide] runs once per informed node. *)
-  let dec_push = Bitset.create cap in
-  let dec_pull = Bitset.create cap in
-  let stamp = Array.make cap (-1) in
-  (* Newly-informed set, applied at the end of the round so a node never
-     forwards a rumor in the round it first receives it. *)
-  let pending = Bitset.create cap in
-  let pending_ids = Array.make cap 0 in
-  let pending_len = ref 0 in
-  let mark v =
-    if not (Bitset.get pending v) then begin
-      Bitset.set pending v;
-      pending_ids.(!pending_len) <- v;
-      incr pending_len
-    end
-  in
-  (* Sender-side feedback: how many of a node's transmissions this
-     round reached partners that already knew the rumor; applied after
-     receipts at the end of the round. *)
-  let dups = Array.make cap 0 in
-  let dup_ids = Array.make cap 0 in
-  let dup_len = ref 0 in
-  let record_dup v =
-    if dups.(v) = 0 then begin
-      dup_ids.(!dup_len) <- v;
-      incr dup_len
-    end;
-    dups.(v) <- dups.(v) + 1
-  in
-  let trace = if collect_trace then Some (Trace.create ()) else None in
-  let frt = Fault.start fault ~capacity:cap in
-  let total_push = ref 0
-  and total_pull = ref 0
-  and total_channels = ref 0 in
-  let completion = ref None in
-  (* Census. When [on_round_end] is absent, [topology.alive] cannot
-     change mid-run (churn is the only client that mutates it), so the
-     live/know counts are maintained incrementally at the only events
-     that move them — crash, recovery, receipt, reset — instead of
-     rescanning the whole population every round. [down_informed]
-     counts informed crashed nodes: while any can still recover the
-     system must not be declared quiet. Under churn ([on_round_end]
-     present) the engine falls back to the original full per-round
-     census; none of this draws randomness, so both paths replay
-     identical trajectories. *)
-  let census_incremental = on_round_end = None in
-  let live = ref 0 and know = ref 0 and down_informed = ref 0 in
-  if census_incremental then
-    for v = 0 to cap - 1 do
-      if topology.alive v then begin
-        incr live;
-        if Bitset.get informed v then incr know
-      end
-    done;
-  let on_crash =
-    if census_incremental then
-      Some
-        (fun v ->
-          decr live;
-          if Bitset.get informed v then begin
-            decr know;
-            incr down_informed
-          end)
-    else None
-  in
-  let on_recover =
-    (* Recovery amnesia: the node lost its volatile state while it was
-       down and re-enters the uninformed census. Nodes only crash while
-       alive and active, so a recovering node is alive here. *)
-    if forget_on_recover then
-      Some
-        (fun v ->
-          if census_incremental then begin
-            incr live;
-            if Bitset.get informed v then decr down_informed
-          end;
-          Bitset.clear informed v;
-          state.(v) <- protocol.init ~informed:false)
-    else if census_incremental then
-      Some
-        (fun v ->
-          incr live;
-          if Bitset.get informed v then begin
-            incr know;
-            decr down_informed
-          end)
-    else None
-  in
-  let informed_fn v = Bitset.get informed v in
-  (* Decision cache accessors, hoisted out of the round loop (the
-     closures close over [cur_round] instead of the round variable). *)
-  let cur_round = ref 0 in
-  let decide_at v =
-    let r = !cur_round in
-    let logical = r - skew v in
-    let d =
-      if logical < 1 then Protocol.silent
-      else protocol.decide state.(v) ~round:logical
-    in
-    Bitset.assign dec_push v d.push;
-    Bitset.assign dec_pull v d.pull;
-    stamp.(v) <- r
-  in
-  let push_of v =
-    if stamp.(v) <> !cur_round then decide_at v;
-    Bitset.get dec_push v
-  in
-  let pull_of v =
-    if stamp.(v) <> !cur_round then decide_at v;
-    Bitset.get dec_pull v
-  in
-  (* Quiescence is a pure conjunction over informed live nodes, so the
-     scan may exit at the first talkative node; remembering that node
-     as a witness makes the steady-state check O(1) — it stays
-     talkative round after round until the protocol winds down, and
-     only then does a full scan run (right before the loop stops). *)
-  let witness = ref 0 in
-  let quiet_at r v =
-    let logical = r + 1 - skew v in
-    logical >= 1 && protocol.quiescent state.(v) ~round:logical
-  in
-  let all_quiet_fast r =
-    if Fault.may_recover frt && !down_informed > 0 then false
-    else begin
-      let w = !witness in
-      if
-        w < cap && topology.alive w && Fault.active frt w
-        && Bitset.get informed w
-        && not (quiet_at r w)
-      then false
-      else begin
-        let v = ref 0 and quiet = ref true in
-        while !quiet && !v < cap do
-          let u = !v in
-          if
-            topology.alive u && Fault.active frt u && Bitset.get informed u
-            && not (quiet_at r u)
-          then begin
-            quiet := false;
-            witness := u
-          end;
-          incr v
-        done;
-        !quiet
-      end
-    end
-  in
-  let round = ref 0 in
-  let stop = ref false in
-  while (not !stop) && !round < protocol.horizon + max_skew do
-    incr round;
-    let r = !round in
-    cur_round := r;
-    Fault.begin_round ?on_recover ?on_crash frt ~rng ~round:r
-      ~degree:topology.degree ~alive:topology.alive ~informed:informed_fn;
-    let push_now = ref 0 and pull_now = ref 0 and channels_now = ref 0 in
-    for u = 0 to cap - 1 do
-      if
-        topology.alive u && Fault.active frt u
-        && (match gate with
-           | None -> true
-           | Some g -> g ~informed:(Bitset.get informed u) ~node:u ~round:r)
-      then begin
-        let d = topology.degree u in
-        if d > 0 then begin
-          let k = Selector.select selector ~rng ~node:u ~degree:d ~out:scratch in
-          for i = 0 to k - 1 do
-            let w = topology.neighbor u scratch.(i) in
-            if topology.alive w && Fault.active frt w && Fault.open_ok frt rng
-            then begin
-              incr channels_now;
-              if Bitset.get informed u && push_of u
-                 && Fault.push_ok frt rng ~sender:u
-              then begin
-                incr push_now;
-                if Bitset.get informed w || Bitset.get pending w then
-                  record_dup u
-                else mark w
-              end;
-              if Bitset.get informed w && pull_of w
-                 && Fault.pull_ok frt rng ~sender:w
-              then begin
-                incr pull_now;
-                if Bitset.get informed u || Bitset.get pending u then
-                  record_dup w
-                else mark u
-              end
-            end
-          done
-        end
-      end
-    done;
-    let newly = !pending_len in
-    for i = 0 to !pending_len - 1 do
-      let v = pending_ids.(i) in
-      Bitset.clear pending v;
-      Bitset.set informed v;
-      state.(v) <- protocol.receive state.(v) ~round:(max 0 (r - skew v))
-    done;
-    pending_len := 0;
-    (* Every marked node was alive and active when marked (both are
-       checked before a channel carries anything, and crashes land only
-       at round start), so the incremental count moves by [newly]. *)
-    if census_incremental then know := !know + newly;
-    for i = 0 to !dup_len - 1 do
-      let v = dup_ids.(i) in
-      let logical = max 0 (r - skew v) in
-      for _ = 1 to dups.(v) do
-        state.(v) <- protocol.feedback state.(v) ~round:logical
-      done;
-      dups.(v) <- 0
-    done;
-    dup_len := 0;
-    total_push := !total_push + !push_now;
-    total_pull := !total_pull + !pull_now;
-    total_channels := !total_channels + !channels_now;
-    (match on_round_end with Some f -> f r | None -> ());
-    (match reset with
-    | Some f ->
-        (* Ids handed back by the churn harness (fresh joins, id reuse)
-           restart uninformed regardless of any stale flag. *)
-        List.iter
-          (fun v ->
-            if v >= 0 && v < cap then begin
-              if census_incremental && Bitset.get informed v
-                 && topology.alive v
-              then
-                if Fault.active frt v then decr know else decr down_informed;
-              Bitset.clear informed v;
-              state.(v) <- protocol.init ~informed:false
-            end)
-          (f ())
-    | None -> ());
-    let all_quiet =
-      if census_incremental then all_quiet_fast r
-      else begin
-        (* Census after churn: [alive] may have changed arbitrarily, so
-           recount; completion means every live node knows. *)
-        live := 0;
-        know := 0;
-        let quiet = ref true in
-        for v = 0 to cap - 1 do
-          if topology.alive v then begin
-            if Fault.active frt v then begin
-              incr live;
-              if Bitset.get informed v then begin
-                incr know;
-                if not (quiet_at r v) then quiet := false
-              end
-            end
-            else if Bitset.get informed v && Fault.may_recover frt then
-              (* An informed crashed node may come back and resume its
-                 schedule; don't declare the system quiet without it. *)
-              quiet := false
-          end
-        done;
-        !quiet
-      end
-    in
-    (match trace with
-    | Some t ->
-        Trace.add t
-          {
-            Trace.round = r;
-            informed = !know;
-            newly;
-            push_tx = !push_now;
-            pull_tx = !pull_now;
-            channels = !channels_now;
-          }
-    | None -> ());
-    if !completion = None && !live > 0 && !know = !live then completion := Some r;
-    if all_quiet then stop := true;
-    if stop_when_complete && !completion <> None then stop := true
-  done;
-  let live = ref 0 and know = ref 0 in
-  let down = ref [] in
-  for v = cap - 1 downto 0 do
-    if topology.alive v then
-      if Fault.active frt v then begin
-        incr live;
-        if Bitset.get informed v then incr know
-      end
-      else down := v :: !down
-  done;
+      if s < 0 || s >= cap || not (topology.Topology.alive s) then
+        invalid_arg (where ^ ": bad source"))
+    sources
+
+let of_kernel ~repair (k : Kernel.result) =
+  let t = k.Kernel.tables.(0) in
   {
-    rounds = !round;
-    completion_round = !completion;
-    informed = !know;
-    population = !live;
-    push_tx = !total_push;
-    pull_tx = !total_pull;
-    channels = !total_channels;
-    knows = Bitset.to_bool_array informed;
-    down = !down;
-    repair = [];
-    trace;
+    rounds = k.Kernel.rounds;
+    completion_round = t.Kernel.completion_round;
+    informed = t.Kernel.informed;
+    population = k.Kernel.population;
+    push_tx = t.Kernel.push_tx;
+    pull_tx = t.Kernel.pull_tx;
+    channels = k.Kernel.channels;
+    knows = t.Kernel.knows;
+    down = k.Kernel.down;
+    repair;
+    trace = k.Kernel.trace;
   }
 
-type 'st epoch_plan = {
+let run ?(fault = Fault.none) ?collect_trace ?stop_when_complete ?gate
+    ?forget_on_recover ?reset ?on_round_end ?skew ~rng ~topology ~protocol
+    ~sources () =
+  validate ~where:"Engine.run" ~topology sources;
+  of_kernel ~repair:[]
+    (Kernel.run ~fault:(Kernel.Full fault) ?collect_trace ?stop_when_complete
+       ?gate ?forget_on_recover ?reset ?on_round_end ?skew ~rng ~topology
+       ~protocol
+       ~tables:[| { Kernel.sources; created = 0 } |]
+       ())
+
+type 'st epoch_plan = 'st Kernel.epoch_plan = {
   epoch_protocol : 'st Protocol.t;
   epoch_gate : informed:bool -> node:int -> round:int -> bool;
 }
 
-let run_epochs ?(fault = Fault.none) ?(collect_trace = false)
-    ?(forget_on_recover = false) ?reset ?on_round_end ?skew ?(max_epochs = 8)
-    ~rng ~topology ~protocol ~repair ~sources () =
+let run_epochs ?fault ?collect_trace ?forget_on_recover ?reset ?on_round_end
+    ?skew ?(max_epochs = 8) ~rng ~topology ~protocol ~repair ~sources () =
   if max_epochs < 0 then invalid_arg "Engine.run_epochs: max_epochs < 0";
-  let main =
-    run ~fault ~collect_trace ~forget_on_recover ?reset ?on_round_end ?skew
-      ~rng ~topology ~protocol ~sources ()
+  validate ~where:"Engine.run" ~topology sources;
+  let k, stats =
+    Kernel.run_epochs ?fault ?collect_trace ?forget_on_recover ?reset
+      ?on_round_end ?skew ~max_epochs ~rng ~topology ~protocol
+      ~repair:(fun ~epoch ~knows -> repair ~epoch ~knows:knows.(0))
+      ~tables:[| { Kernel.sources; created = 0 } |]
+      ()
   in
-  let cap = topology.Topology.capacity in
-  let knows = Array.copy main.knows in
-  (* Nodes still down when a run stops would come back up under the next
-     epoch's fresh fault runtime; with amnesia their knowledge is gone. *)
-  let forget_down r =
-    if forget_on_recover then List.iter (fun v -> knows.(v) <- false) r.down
-  in
-  forget_down main;
-  let live_census () =
-    let live = ref 0 and know = ref 0 in
-    for v = 0 to cap - 1 do
-      if topology.Topology.alive v then begin
-        incr live;
-        if knows.(v) then incr know
-      end
-    done;
-    (!live, !know)
-  in
-  let stats = ref [] in
-  let rounds = ref main.rounds in
-  let push = ref main.push_tx in
-  let pull = ref main.pull_tx in
-  let chans = ref main.channels in
-  let down = ref main.down in
-  let epoch = ref 0 in
-  let continue = ref true in
-  while !continue && !epoch < max_epochs do
-    let live, know = live_census () in
-    if live = 0 || know = live || know = 0 then
-      (* covered, empty network, or the rumor died out: nothing to pull *)
-      continue := false
-    else begin
-      incr epoch;
-      let srcs = ref [] in
-      for v = cap - 1 downto 0 do
-        if topology.Topology.alive v && knows.(v) then srcs := v :: !srcs
-      done;
-      let plan = repair ~epoch:!epoch ~knows in
-      (* Epochs fight the channel, not the reaper: communication faults
-         (loss, call failure, bursts) stay on, while the node-dynamics
-         modes (crash_rate, strike) act on the main timeline only —
-         otherwise perpetual mid-repair amnesia makes the total-coverage
-         target unreachable by construction. *)
-      let epoch_fault = { fault with Fault.crash_rate = 0.; strike = None } in
-      let r =
-        run ~fault:epoch_fault ~forget_on_recover ~stop_when_complete:true
-          ~gate:plan.epoch_gate ~rng ~topology ~protocol:plan.epoch_protocol
-          ~sources:!srcs ()
-      in
-      (* The epoch restarted from every knower, so its final flags are
-         the current truth (amnesia included): replace, don't merge. *)
-      Array.blit r.knows 0 knows 0 cap;
-      forget_down r;
-      stats :=
-        {
-          epoch = !epoch;
-          epoch_rounds = r.rounds;
-          epoch_informed = r.informed;
-          epoch_population = r.population;
-          repair_push_tx = r.push_tx;
-          repair_pull_tx = r.pull_tx;
-          repair_channels = r.channels;
-        }
-        :: !stats;
-      rounds := !rounds + r.rounds;
-      push := !push + r.push_tx;
-      pull := !pull + r.pull_tx;
-      chans := !chans + r.channels;
-      down := r.down
-    end
-  done;
-  let live, know = live_census () in
-  {
-    rounds = !rounds;
-    completion_round = main.completion_round;
-    informed = know;
-    population = live;
-    push_tx = !push;
-    pull_tx = !pull;
-    channels = !chans;
-    knows;
-    down = !down;
-    repair = List.rev !stats;
-    trace = main.trace;
-  }
+  of_kernel ~repair:stats k

@@ -14,9 +14,15 @@
 
     Transmissions are counted per channel use — including redundant
     deliveries to already-informed nodes — which is the quantity the
-    paper's theorems bound. *)
+    paper's theorems bound.
 
-type epoch_stat = {
+    This module is the single-rumor driver of the shared {!Kernel}: one
+    table under a {!Kernel.Full} fault runtime. The stopping rule
+    (horizon, quiescence, the oracle-stopped [stop_when_complete]
+    accounting), the randomness-order contract and the census invariant
+    are documented once, on {!Kernel}. *)
+
+type epoch_stat = Kernel.epoch_stat = {
   epoch : int;  (** 1-based repair epoch index *)
   epoch_rounds : int;  (** rounds the epoch executed *)
   epoch_informed : int;  (** informed live nodes at the epoch's end *)
@@ -25,7 +31,8 @@ type epoch_stat = {
   repair_pull_tx : int;  (** pull transmissions spent by the epoch *)
   repair_channels : int;  (** channels the epoch opened *)
 }
-(** Accounting for one self-healing repair epoch (see {!run_epochs}). *)
+(** Accounting for one self-healing repair epoch (see {!run_epochs}).
+    Shared with {!Kernel.epoch_stat} (and so with [Multi.run_epochs]). *)
 
 type result = {
   rounds : int;  (** rounds actually executed (including repair epochs) *)
@@ -81,14 +88,13 @@ val run :
   unit ->
   result
 (** [run ~rng ~topology ~protocol ~sources ()] broadcasts one rumor
-    initially known to [sources]. The run stops at the protocol's
-    [horizon], or earlier once every informed node is quiescent, or —
-    when [stop_when_complete] is set (default false) — at the end of
-    the first round in which every live node is informed (the
-    "oracle-stopped" accounting used when measuring baseline message
-    complexity). [on_round_end] fires after each round and may mutate
-    the topology (churn) but must not change [capacity]; newly
-    appearing node ids start uninformed.
+    initially known to [sources], stopping per the {!Kernel} stopping
+    rule: at the protocol's [horizon], earlier once every informed node
+    is quiescent, or — when [stop_when_complete] is set (default
+    false) — at the end of the first round in which every live node is
+    informed (the oracle-stopped accounting). [on_round_end] fires
+    after each round and may mutate the topology (churn) but must not
+    change [capacity]; newly appearing node ids start uninformed.
 
     [fault] is a full {!Fault.t} plan, ticked at the start of every
     round: burst (Gilbert–Elliott) chains advance, nodes crash and
@@ -123,17 +129,15 @@ val run :
     ids (fresh churn joins, possibly reusing the id of a departed peer)
     are restarted uninformed. Out-of-range ids are ignored.
 
-    Performance note: without [on_round_end] the engine assumes
-    [topology.alive] is stable between rounds and maintains its
-    live/informed census incrementally from mark, reset and
-    crash/recover events (see {!Fault.begin_round}); installing
-    [on_round_end] switches to a full per-round census so churn that
-    mutates liveness stays correct. Both paths draw identical
-    randomness and produce bit-identical results.
+    Performance note: without [on_round_end] the kernel maintains its
+    live/informed census incrementally (see the census invariant on
+    {!Kernel}); installing [on_round_end] switches to a full per-round
+    census so churn that mutates liveness stays correct. Both paths
+    draw identical randomness and produce bit-identical results.
     @raise Invalid_argument if [sources] is empty or contains a dead or
     out-of-range id. *)
 
-type 'st epoch_plan = {
+type 'st epoch_plan = 'st Kernel.epoch_plan = {
   epoch_protocol : 'st Protocol.t;
       (** protocol for one repair epoch (its [horizon] bounds the
           epoch's length) *)
@@ -142,7 +146,8 @@ type 'st epoch_plan = {
           schedules uninformed pulls (timeout + backoff) *)
 }
 (** One repair epoch's behaviour, built fresh per epoch by the strategy
-    callback of {!run_epochs}. *)
+    callback of {!run_epochs}. Shared with {!Kernel.epoch_plan}, so the
+    same strategies drive [Multi.run_epochs]. *)
 
 val run_epochs :
   ?fault:Fault.t ->

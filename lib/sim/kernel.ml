@@ -1,0 +1,837 @@
+module Rng = Rumor_rng.Rng
+module Dist = Rumor_rng.Dist
+module Graph = Rumor_graph.Graph
+
+type fault_mode = Full of Fault.t | Stateless of Fault.t
+
+type table = { sources : int list; created : int }
+
+type table_result = {
+  completion_round : int option;
+  informed : int;
+  push_tx : int;
+  pull_tx : int;
+  knows : bool array;
+}
+
+type result = {
+  rounds : int;
+  population : int;
+  channels : int;
+  down : int list;
+  trace : Trace.t option;
+  tables : table_result array;
+}
+
+type gate = informed:bool -> node:int -> round:int -> bool
+
+(* Per-rumor state. Every table owns its informed set, protocol state,
+   decision cache, end-of-round receipt/feedback queues and accounting;
+   the round's channel set is shared by all of them. *)
+type 'st tstate = {
+  created : int;
+  srcs : int list;
+  informed : Bitset.t;
+  state : 'st array;
+  dec_push : Bitset.t;
+  dec_pull : Bitset.t;
+  stamp : int array;
+  pending : Bitset.t;
+  pending_ids : int array;
+  mutable pending_len : int;
+  dups : int array;
+  dup_ids : int array;
+  mutable dup_len : int;
+  mutable know : int;
+  mutable down_informed : int;
+  mutable witness : int;
+  mutable push_tx : int;
+  mutable pull_tx : int;
+  mutable completion : int option;
+  mutable injected : bool;
+}
+
+let run ?(fault = Stateless Fault.none) ?(collect_trace = false)
+    ?(stop_when_complete = false) ?gate ?(forget_on_recover = false) ?reset
+    ?on_round_end ?skew ~rng ~topology ~protocol ~tables () =
+  let open Topology in
+  let open Protocol in
+  let cap = topology.capacity in
+  let nt = Array.length tables in
+  if nt = 0 then invalid_arg "Kernel.run: no tables";
+  let skew_f = match skew with Some f -> f | None -> fun _ -> 0 in
+  let max_skew =
+    match skew with
+    | None -> 0
+    | Some f ->
+        let worst = ref 0 in
+        for v = 0 to cap - 1 do
+          if f v > !worst then worst := f v
+        done;
+        !worst
+  in
+  let splan = match fault with Full p | Stateless p -> p in
+  let frt =
+    match fault with
+    | Full p -> Some (Fault.start p ~capacity:cap)
+    | Stateless _ -> None
+  in
+  let active =
+    match frt with
+    | Some rt -> fun v -> Fault.active rt v
+    | None -> fun _ -> true
+  in
+  let may_recover =
+    match frt with Some rt -> Fault.may_recover rt | None -> false
+  in
+  (* A [Stateless] plan samples exactly like a burst-free runtime: the
+     burst check draws nothing and the loss draws coincide. *)
+  let push_ok =
+    match frt with
+    | Some rt -> fun u -> Fault.push_ok rt rng ~sender:u
+    | None -> fun _ -> Fault.delivery_ok ~dir:`Push splan rng
+  in
+  let pull_ok =
+    match frt with
+    | Some rt -> fun w -> Fault.pull_ok rt rng ~sender:w
+    | None -> fun _ -> Fault.delivery_ok ~dir:`Pull splan rng
+  in
+  let selector = Selector.make protocol.selector ~capacity:cap in
+  let scratch = Array.make (max (Selector.fanout protocol.selector) 1) 0 in
+  (* Census strategy: see the invariant in kernel.mli. *)
+  let census_incremental = on_round_end = None in
+  let live = ref 0 in
+  if census_incremental then live := Topology.alive_count topology;
+  let mk_table (spec : table) =
+    {
+      created = spec.created;
+      srcs = spec.sources;
+      informed = Bitset.create cap;
+      state = Array.init cap (fun _ -> protocol.init ~informed:false);
+      dec_push = Bitset.create cap;
+      dec_pull = Bitset.create cap;
+      stamp = Array.make cap (-1);
+      pending = Bitset.create cap;
+      pending_ids = Array.make cap 0;
+      pending_len = 0;
+      dups = Array.make cap 0;
+      dup_ids = Array.make cap 0;
+      dup_len = 0;
+      know = 0;
+      down_informed = 0;
+      witness = 0;
+      push_tx = 0;
+      pull_tx = 0;
+      completion = None;
+      injected = false;
+    }
+  in
+  let tbs = Array.map mk_table tables in
+  let inject tb =
+    List.iter
+      (fun s ->
+        if not (Bitset.get tb.informed s) then begin
+          Bitset.set tb.informed s;
+          tb.state.(s) <- protocol.init ~informed:true;
+          if census_incremental && topology.alive s && active s then
+            tb.know <- tb.know + 1
+        end)
+      tb.srcs;
+    tb.injected <- true
+  in
+  Array.iter (fun tb -> if tb.created = 0 then inject tb) tbs;
+  let mark tb v =
+    if not (Bitset.get tb.pending v) then begin
+      Bitset.set tb.pending v;
+      tb.pending_ids.(tb.pending_len) <- v;
+      tb.pending_len <- tb.pending_len + 1
+    end
+  in
+  let record_dup tb v =
+    if tb.dups.(v) = 0 then begin
+      tb.dup_ids.(tb.dup_len) <- v;
+      tb.dup_len <- tb.dup_len + 1
+    end;
+    tb.dups.(v) <- tb.dups.(v) + 1
+  in
+  let informed_any v =
+    let rec go j = j < nt && (Bitset.get tbs.(j).informed v || go (j + 1)) in
+    go 0
+  in
+  let informed_all v =
+    let rec go j = j >= nt || (Bitset.get tbs.(j).informed v && go (j + 1)) in
+    go 0
+  in
+  let on_crash =
+    if census_incremental then
+      Some
+        (fun v ->
+          decr live;
+          for j = 0 to nt - 1 do
+            let tb = tbs.(j) in
+            if Bitset.get tb.informed v then begin
+              tb.know <- tb.know - 1;
+              tb.down_informed <- tb.down_informed + 1
+            end
+          done)
+    else None
+  in
+  let on_recover =
+    (* Recovery amnesia: the node lost its volatile state while it was
+       down — every rumor at once — and re-enters the uninformed
+       census. Nodes only crash while alive and active, so a recovering
+       node is alive here. *)
+    if forget_on_recover then
+      Some
+        (fun v ->
+          if census_incremental then incr live;
+          for j = 0 to nt - 1 do
+            let tb = tbs.(j) in
+            if census_incremental && Bitset.get tb.informed v then
+              tb.down_informed <- tb.down_informed - 1;
+            Bitset.clear tb.informed v;
+            tb.state.(v) <- protocol.init ~informed:false
+          done)
+    else if census_incremental then
+      Some
+        (fun v ->
+          incr live;
+          for j = 0 to nt - 1 do
+            let tb = tbs.(j) in
+            if Bitset.get tb.informed v then begin
+              tb.know <- tb.know + 1;
+              tb.down_informed <- tb.down_informed - 1
+            end
+          done)
+    else None
+  in
+  (* Decision cache accessors, hoisted out of the round loop (the
+     closures close over [cur_round] instead of the round variable). A
+     table whose logical round has not started yet decides [silent]
+     without consulting the protocol, so it also draws no delivery
+     randomness. *)
+  let cur_round = ref 0 in
+  let decide_at tb v =
+    let r = !cur_round in
+    let logical = r - tb.created - skew_f v in
+    let d =
+      if logical < 1 then Protocol.silent
+      else protocol.decide tb.state.(v) ~round:logical
+    in
+    Bitset.assign tb.dec_push v d.push;
+    Bitset.assign tb.dec_pull v d.pull;
+    tb.stamp.(v) <- r
+  in
+  let push_of tb v =
+    if tb.stamp.(v) <> !cur_round then decide_at tb v;
+    Bitset.get tb.dec_push v
+  in
+  let pull_of tb v =
+    if tb.stamp.(v) <> !cur_round then decide_at tb v;
+    Bitset.get tb.dec_pull v
+  in
+  (* Quiescence is a pure conjunction over informed live nodes, so the
+     scan may exit at the first talkative node; remembering that node
+     as a per-table witness makes the steady-state check O(1) — it
+     stays talkative round after round until the protocol winds down,
+     and only then does a full scan run (right before the loop
+     stops). *)
+  let quiet_at tb r v =
+    let logical = r + 1 - tb.created - skew_f v in
+    logical >= 1 && protocol.quiescent tb.state.(v) ~round:logical
+  in
+  let table_quiet_fast tb r =
+    if tb.created >= r then false
+    else begin
+      let w = tb.witness in
+      if
+        w < cap && topology.alive w && active w
+        && Bitset.get tb.informed w
+        && not (quiet_at tb r w)
+      then false
+      else begin
+        let v = ref 0 and quiet = ref true in
+        while !quiet && !v < cap do
+          let u = !v in
+          if
+            topology.alive u && active u
+            && Bitset.get tb.informed u
+            && not (quiet_at tb r u)
+          then begin
+            quiet := false;
+            tb.witness <- u
+          end;
+          incr v
+        done;
+        !quiet
+      end
+    end
+  in
+  let any_down_informed () =
+    let rec go j = j < nt && (tbs.(j).down_informed > 0 || go (j + 1)) in
+    go 0
+  in
+  let all_quiet_fast r =
+    (* An informed crashed node may come back and resume its schedule;
+       don't declare the system quiet without it. *)
+    if may_recover && any_down_informed () then false
+    else begin
+      let quiet = ref true and j = ref 0 in
+      while !quiet && !j < nt do
+        if not (table_quiet_fast tbs.(!j) r) then quiet := false;
+        incr j
+      done;
+      !quiet
+    end
+  in
+  let full_census r =
+    (* Census after churn: [alive] may have changed arbitrarily, so
+       recount; completion means every live node knows. *)
+    live := 0;
+    for j = 0 to nt - 1 do
+      tbs.(j).know <- 0
+    done;
+    let quiet = ref true in
+    for j = 0 to nt - 1 do
+      if tbs.(j).created >= r then quiet := false
+    done;
+    for v = 0 to cap - 1 do
+      if topology.alive v then begin
+        if active v then begin
+          incr live;
+          for j = 0 to nt - 1 do
+            let tb = tbs.(j) in
+            if Bitset.get tb.informed v then begin
+              tb.know <- tb.know + 1;
+              if not (quiet_at tb r v) then quiet := false
+            end
+          done
+        end
+        else if informed_any v && may_recover then quiet := false
+      end
+    done;
+    !quiet
+  in
+  let trace = if collect_trace then Some (Trace.create ()) else None in
+  let horizon =
+    let h = ref 0 in
+    Array.iter
+      (fun tb ->
+        if tb.created + protocol.horizon > !h then
+          h := tb.created + protocol.horizon)
+      tbs;
+    !h + max_skew
+  in
+  let total_channels = ref 0 in
+  let round = ref 0 in
+  let stop = ref false in
+  while (not !stop) && !round < horizon do
+    incr round;
+    let r = !round in
+    cur_round := r;
+    (match frt with
+    | Some rt ->
+        Fault.begin_round ?on_recover ?on_crash rt ~rng ~round:r
+          ~degree:topology.degree ~alive:topology.alive ~informed:informed_any
+    | None -> ());
+    (* Inject rumors created at the end of the previous round. *)
+    for j = 0 to nt - 1 do
+      let tb = tbs.(j) in
+      if (not tb.injected) && tb.created = r - 1 then inject tb
+    done;
+    let push_now = ref 0 and pull_now = ref 0 and channels_now = ref 0 in
+    for u = 0 to cap - 1 do
+      if
+        topology.alive u && active u
+        && (match gate with
+           | None -> true
+           | Some g -> g ~informed:(informed_all u) ~node:u ~round:r)
+      then begin
+        let d = topology.degree u in
+        if d > 0 then begin
+          let k = Selector.select selector ~rng ~node:u ~degree:d ~out:scratch in
+          for i = 0 to k - 1 do
+            let w = topology.neighbor u scratch.(i) in
+            if topology.alive w && active w && Fault.channel_ok splan rng
+            then begin
+              incr channels_now;
+              for j = 0 to nt - 1 do
+                let tb = tbs.(j) in
+                if Bitset.get tb.informed u && push_of tb u && push_ok u
+                then begin
+                  incr push_now;
+                  tb.push_tx <- tb.push_tx + 1;
+                  if Bitset.get tb.informed w || Bitset.get tb.pending w then
+                    record_dup tb u
+                  else mark tb w
+                end;
+                if Bitset.get tb.informed w && pull_of tb w && pull_ok w
+                then begin
+                  incr pull_now;
+                  tb.pull_tx <- tb.pull_tx + 1;
+                  if Bitset.get tb.informed u || Bitset.get tb.pending u then
+                    record_dup tb w
+                  else mark tb u
+                end
+              done
+            end
+          done
+        end
+      end
+    done;
+    (* Newly-informed sets were deferred so a node never forwards a
+       rumor in the round it first receives it; apply them now. *)
+    let newly_total = ref 0 in
+    for j = 0 to nt - 1 do
+      let tb = tbs.(j) in
+      let newly = tb.pending_len in
+      for i = 0 to newly - 1 do
+        let v = tb.pending_ids.(i) in
+        Bitset.clear tb.pending v;
+        Bitset.set tb.informed v;
+        tb.state.(v) <-
+          protocol.receive tb.state.(v)
+            ~round:(max 0 (r - tb.created - skew_f v))
+      done;
+      tb.pending_len <- 0;
+      (* Every marked node was alive and active when marked (both are
+         checked before a channel carries anything, and crashes land
+         only at round start), so the incremental count moves by
+         [newly]. *)
+      if census_incremental then tb.know <- tb.know + newly;
+      newly_total := !newly_total + newly
+    done;
+    for j = 0 to nt - 1 do
+      let tb = tbs.(j) in
+      for i = 0 to tb.dup_len - 1 do
+        let v = tb.dup_ids.(i) in
+        let logical = max 0 (r - tb.created - skew_f v) in
+        for _ = 1 to tb.dups.(v) do
+          tb.state.(v) <- protocol.feedback tb.state.(v) ~round:logical
+        done;
+        tb.dups.(v) <- 0
+      done;
+      tb.dup_len <- 0
+    done;
+    total_channels := !total_channels + !channels_now;
+    (match on_round_end with Some f -> f r | None -> ());
+    (match reset with
+    | Some f ->
+        (* Ids handed back by the churn harness (fresh joins, id reuse)
+           restart uninformed regardless of any stale flag. *)
+        List.iter
+          (fun v ->
+            if v >= 0 && v < cap then
+              for j = 0 to nt - 1 do
+                let tb = tbs.(j) in
+                if
+                  census_incremental
+                  && Bitset.get tb.informed v
+                  && topology.alive v
+                then
+                  if active v then tb.know <- tb.know - 1
+                  else tb.down_informed <- tb.down_informed - 1;
+                Bitset.clear tb.informed v;
+                tb.state.(v) <- protocol.init ~informed:false
+              done)
+          (f ())
+    | None -> ());
+    let all_quiet =
+      if census_incremental then all_quiet_fast r else full_census r
+    in
+    (match trace with
+    | Some t ->
+        let know_total = ref 0 in
+        for j = 0 to nt - 1 do
+          know_total := !know_total + tbs.(j).know
+        done;
+        Trace.add t
+          {
+            Trace.round = r;
+            informed = !know_total;
+            newly = !newly_total;
+            push_tx = !push_now;
+            pull_tx = !pull_now;
+            channels = !channels_now;
+          }
+    | None -> ());
+    for j = 0 to nt - 1 do
+      let tb = tbs.(j) in
+      if tb.completion = None && !live > 0 && tb.know = !live then
+        tb.completion <- Some r
+    done;
+    if all_quiet then stop := true;
+    if stop_when_complete then begin
+      let all = ref true in
+      for j = 0 to nt - 1 do
+        if tbs.(j).completion = None then all := false
+      done;
+      if !all then stop := true
+    end
+  done;
+  (* Final counts. The incremental census already holds them — the
+     invariant the differential tests pin — so only the crashed-id list
+     (node-fault runs) or the post-churn recount needs a scan. *)
+  let down = ref [] in
+  if census_incremental then begin
+    match frt with
+    | Some rt when Fault.down_count rt > 0 ->
+        for v = cap - 1 downto 0 do
+          if topology.alive v && not (Fault.active rt v) then down := v :: !down
+        done
+    | Some _ | None -> ()
+  end
+  else begin
+    live := 0;
+    for j = 0 to nt - 1 do
+      tbs.(j).know <- 0
+    done;
+    for v = cap - 1 downto 0 do
+      if topology.alive v then
+        if active v then begin
+          incr live;
+          for j = 0 to nt - 1 do
+            let tb = tbs.(j) in
+            if Bitset.get tb.informed v then tb.know <- tb.know + 1
+          done
+        end
+        else down := v :: !down
+    done
+  end;
+  {
+    rounds = !round;
+    population = !live;
+    channels = !total_channels;
+    down = !down;
+    trace;
+    tables =
+      Array.map
+        (fun tb ->
+          {
+            completion_round = tb.completion;
+            informed = tb.know;
+            push_tx = tb.push_tx;
+            pull_tx = tb.pull_tx;
+            knows = Bitset.to_bool_array tb.informed;
+          })
+        tbs;
+  }
+
+type epoch_stat = {
+  epoch : int;
+  epoch_rounds : int;
+  epoch_informed : int;
+  epoch_population : int;
+  repair_push_tx : int;
+  repair_pull_tx : int;
+  repair_channels : int;
+}
+
+type 'st epoch_plan = {
+  epoch_protocol : 'st Protocol.t;
+  epoch_gate : gate;
+}
+
+let run_epochs ?(fault = Fault.none) ?(collect_trace = false)
+    ?(forget_on_recover = false) ?reset ?on_round_end ?skew ?(max_epochs = 8)
+    ~rng ~topology ~protocol ~repair ~tables () =
+  if max_epochs < 0 then invalid_arg "Kernel.run_epochs: max_epochs < 0";
+  let main =
+    run ~fault:(Full fault) ~collect_trace ~forget_on_recover ?reset
+      ?on_round_end ?skew ~rng ~topology ~protocol ~tables ()
+  in
+  let cap = topology.Topology.capacity in
+  let nt = Array.length tables in
+  let knows = Array.init nt (fun j -> Array.copy main.tables.(j).knows) in
+  (* Nodes still down when a run stops would come back up under the next
+     epoch's fresh fault runtime; with amnesia their knowledge is gone. *)
+  let forget_down r =
+    if forget_on_recover then
+      List.iter
+        (fun v ->
+          for j = 0 to nt - 1 do
+            knows.(j).(v) <- false
+          done)
+        r.down
+  in
+  forget_down main;
+  let live_census () =
+    let live = ref 0 and know = Array.make nt 0 in
+    for v = 0 to cap - 1 do
+      if topology.Topology.alive v then begin
+        incr live;
+        for j = 0 to nt - 1 do
+          if knows.(j).(v) then know.(j) <- know.(j) + 1
+        done
+      end
+    done;
+    (!live, know)
+  in
+  let acc_push = Array.map (fun (t : table_result) -> t.push_tx) main.tables in
+  let acc_pull = Array.map (fun (t : table_result) -> t.pull_tx) main.tables in
+  let stats = ref [] in
+  let rounds = ref main.rounds in
+  let chans = ref main.channels in
+  let down = ref main.down in
+  let epoch = ref 0 in
+  let continue = ref true in
+  while !continue && !epoch < max_epochs do
+    let live, know = live_census () in
+    (* A table is repairable when it still has both a live knower to
+       pull from and a live non-knower to reach; with none left —
+       covered, extinct, or an empty network — the loop is done. *)
+    let repairable = ref false in
+    if live > 0 then
+      for j = 0 to nt - 1 do
+        if know.(j) > 0 && know.(j) < live then repairable := true
+      done;
+    if not !repairable then continue := false
+    else begin
+      incr epoch;
+      let especs =
+        Array.init nt (fun j ->
+            let srcs = ref [] in
+            for v = cap - 1 downto 0 do
+              if topology.Topology.alive v && knows.(j).(v) then
+                srcs := v :: !srcs
+            done;
+            { sources = !srcs; created = 0 })
+      in
+      let plan = repair ~epoch:!epoch ~knows in
+      (* Epochs fight the channel, not the reaper: communication faults
+         (loss, call failure, bursts) stay on, while the node-dynamics
+         modes (crash_rate, strike) act on the main timeline only —
+         otherwise perpetual mid-repair amnesia makes the total-coverage
+         target unreachable by construction. *)
+      let epoch_fault = { fault with Fault.crash_rate = 0.; strike = None } in
+      let r =
+        run ~fault:(Full epoch_fault) ~forget_on_recover
+          ~stop_when_complete:true ~gate:plan.epoch_gate ~rng ~topology
+          ~protocol:plan.epoch_protocol ~tables:especs ()
+      in
+      (* The epoch restarted from every knower, so its final flags are
+         the current truth (amnesia included): replace, don't merge. *)
+      let epoch_push = ref 0 and epoch_pull = ref 0 in
+      let epoch_informed = ref max_int in
+      for j = 0 to nt - 1 do
+        let t = r.tables.(j) in
+        Array.blit t.knows 0 knows.(j) 0 cap;
+        acc_push.(j) <- acc_push.(j) + t.push_tx;
+        acc_pull.(j) <- acc_pull.(j) + t.pull_tx;
+        epoch_push := !epoch_push + t.push_tx;
+        epoch_pull := !epoch_pull + t.pull_tx;
+        if t.informed < !epoch_informed then epoch_informed := t.informed
+      done;
+      forget_down r;
+      stats :=
+        {
+          epoch = !epoch;
+          epoch_rounds = r.rounds;
+          epoch_informed = !epoch_informed;
+          epoch_population = r.population;
+          repair_push_tx = !epoch_push;
+          repair_pull_tx = !epoch_pull;
+          repair_channels = r.channels;
+        }
+        :: !stats;
+      rounds := !rounds + r.rounds;
+      chans := !chans + r.channels;
+      down := r.down
+    end
+  done;
+  let live, know = live_census () in
+  ( {
+      rounds = !rounds;
+      population = live;
+      channels = !chans;
+      down = !down;
+      trace = main.trace;
+      tables =
+        Array.init nt (fun j ->
+            {
+              completion_round = main.tables.(j).completion_round;
+              informed = know.(j);
+              push_tx = acc_push.(j);
+              pull_tx = acc_pull.(j);
+              knows = knows.(j);
+            });
+    },
+    List.rev !stats )
+
+type async_result = {
+  activations : int;
+  time : float;
+  completion_time : float option;
+  informed : int;
+  transmissions : int;
+  trace : Trace.t option;
+}
+
+let run_async ?(fault = Fault.none) ?(stop_when_complete = false)
+    ?(collect_trace = false) ?on_round_end ?reset ~rng ~graph ~protocol
+    ~sources () =
+  let open Protocol in
+  let n = Graph.n graph in
+  let informed = Bitset.create n in
+  let state = Array.init n (fun _ -> protocol.init ~informed:false) in
+  List.iter
+    (fun s ->
+      Bitset.set informed s;
+      state.(s) <- protocol.init ~informed:true)
+    sources;
+  let selector = Selector.make protocol.selector ~capacity:n in
+  let scratch = Array.make (max (Selector.fanout protocol.selector) 1) 0 in
+  let time = ref 0. in
+  let activations = ref 0 in
+  let transmissions = ref 0 in
+  let informed_count = ref (List.length sources) in
+  let completion = ref (if !informed_count = n then Some 0. else None) in
+  let horizon = float_of_int protocol.horizon in
+  let logical () = int_of_float !time + 1 in
+  (* Quiescence is only re-checked occasionally (it costs O(n)); the
+     horizon bounds the run regardless. The scan exits at the first
+     talkative node, checking last time's witness first. *)
+  let witness = ref 0 in
+  let all_quiet () =
+    let round = logical () in
+    let w = !witness in
+    if
+      w < n && Bitset.get informed w
+      && not (protocol.quiescent state.(w) ~round)
+    then false
+    else begin
+      let quiet = ref true in
+      let v = ref 0 in
+      while !quiet && !v < n do
+        let u = !v in
+        if Bitset.get informed u && not (protocol.quiescent state.(u) ~round)
+        then begin
+          quiet := false;
+          witness := u
+        end;
+        incr v
+      done;
+      !quiet
+    end
+  in
+  (* Hoisted out of the activation loop so steady-state activations
+     allocate nothing; [cur_round] carries the logical round. *)
+  let cur_round = ref 1 in
+  (* Unit-boundary machinery: a unit of continuous time is the
+     asynchronous analogue of a round, so trace rows, [on_round_end]
+     and [reset] land at the integer boundaries the run crosses. All of
+     it draws nothing, and without hooks or tracing none of it runs. *)
+  let trace = if collect_trace then Some (Trace.create ()) else None in
+  let unit_boundaries =
+    collect_trace || on_round_end <> None || reset <> None
+  in
+  let unit_done = ref 0 in
+  let unit_newly = ref 0 in
+  let unit_push = ref 0 and unit_pull = ref 0 and unit_channels = ref 0 in
+  let flush_row u =
+    match trace with
+    | Some t ->
+        Trace.add t
+          {
+            Trace.round = u;
+            informed = !informed_count;
+            newly = !unit_newly;
+            push_tx = !unit_push;
+            pull_tx = !unit_pull;
+            channels = !unit_channels;
+          };
+        unit_newly := 0;
+        unit_push := 0;
+        unit_pull := 0;
+        unit_channels := 0
+    | None -> ()
+  in
+  let flush_unit u =
+    flush_row u;
+    (match on_round_end with Some f -> f u | None -> ());
+    match reset with
+    | Some f ->
+        List.iter
+          (fun v ->
+            if v >= 0 && v < n then begin
+              if Bitset.get informed v then begin
+                Bitset.clear informed v;
+                decr informed_count
+              end;
+              state.(v) <- protocol.init ~informed:false
+            end)
+          (f ())
+    | None -> ()
+  in
+  let advance_units () =
+    if unit_boundaries then begin
+      let nu = int_of_float !time in
+      while !unit_done < nu do
+        incr unit_done;
+        flush_unit !unit_done
+      done
+    end
+  in
+  let deliver ~sender target =
+    let round = !cur_round in
+    if not (Bitset.get informed target) then begin
+      Bitset.set informed target;
+      state.(target) <- protocol.receive state.(target) ~round;
+      incr informed_count;
+      incr unit_newly;
+      if !informed_count = n then completion := Some !time
+    end
+    else state.(sender) <- protocol.feedback state.(sender) ~round
+  in
+  let stop = ref false in
+  while (not !stop) && !time < horizon do
+    (* Superposition of n rate-1 clocks: global rate n. *)
+    time := !time +. Dist.exponential rng ~rate:(float_of_int n);
+    if !time < horizon then begin
+      advance_units ();
+      incr activations;
+      let v = Rng.int rng n in
+      let deg = Graph.degree graph v in
+      if deg > 0 then begin
+        let round = logical () in
+        cur_round := round;
+        let k = Selector.select selector ~rng ~node:v ~degree:deg ~out:scratch in
+        for i = 0 to k - 1 do
+          let w = Graph.neighbor graph v scratch.(i) in
+          if Fault.channel_ok fault rng then begin
+            incr unit_channels;
+            (* push: the activated caller transmits to the callee. *)
+            if Bitset.get informed v && (protocol.decide state.(v) ~round).push
+               && Fault.delivery_ok ~dir:`Push fault rng
+            then begin
+              incr transmissions;
+              incr unit_push;
+              deliver ~sender:v w
+            end;
+            (* pull: the callee answers the caller. *)
+            if Bitset.get informed w && (protocol.decide state.(w) ~round).pull
+               && Fault.delivery_ok ~dir:`Pull fault rng
+            then begin
+              incr transmissions;
+              incr unit_pull;
+              deliver ~sender:w v
+            end
+          end
+        done
+      end;
+      if stop_when_complete && !informed_count = n then stop := true;
+      if !activations mod (4 * n) = 0 && all_quiet () then stop := true
+    end
+  done;
+  (* The run usually ends mid-unit: emit the partial unit's row so the
+     trace accounts for every delivery. *)
+  if collect_trace && (!time > float_of_int !unit_done || !unit_done = 0)
+  then flush_row (!unit_done + 1);
+  {
+    activations = !activations;
+    time = !time;
+    completion_time = !completion;
+    informed = !informed_count;
+    transmissions = !transmissions;
+    trace;
+  }

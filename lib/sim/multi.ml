@@ -1,4 +1,6 @@
-module Rng = Rumor_rng.Rng
+(* The multi-rumor driver: one kernel table per message under
+   stateless fault sampling, sharing each round's channel set. All
+   round machinery lives in {!Kernel}. *)
 
 type message = { source : int; created : int }
 
@@ -13,6 +15,8 @@ type result = {
   channels : int;
   population : int;
   messages : message_result array;
+  repair : Kernel.epoch_stat list;
+  trace : Trace.t option;
 }
 
 let total_transmissions r =
@@ -22,186 +26,54 @@ let all_complete r =
   r.population > 0
   && Array.for_all (fun m -> m.informed = r.population) r.messages
 
-let run ?(fault = Fault.none) ~rng ~topology ~protocol ~messages () =
-  let open Topology in
-  let open Protocol in
-  let cap = topology.capacity in
+let validate ~topology messages =
+  let cap = topology.Topology.capacity in
   if messages = [] then invalid_arg "Multi.run: no messages";
   List.iter
     (fun m ->
-      if m.source < 0 || m.source >= cap || not (topology.alive m.source) then
-        invalid_arg "Multi.run: bad source";
+      if m.source < 0 || m.source >= cap || not (topology.Topology.alive m.source)
+      then invalid_arg "Multi.run: bad source";
       if m.created < 0 then invalid_arg "Multi.run: negative creation time")
-    messages;
-  let msgs = Array.of_list messages in
-  let k = Array.length msgs in
-  (* Per-message per-node state, informed flags and accounting. *)
-  let state = Array.init k (fun _ -> Array.init cap (fun _ -> protocol.init ~informed:false)) in
-  let informed = Array.init k (fun _ -> Bitset.create cap) in
-  let tx = Array.make k 0 in
-  let completion = Array.make k None in
-  let selector = Selector.make protocol.selector ~capacity:cap in
-  let scratch = Array.make (max (Selector.fanout protocol.selector) 1) 0 in
-  (* Decision cache per (message, node, round). *)
-  let dec_push = Array.init k (fun _ -> Bitset.create cap) in
-  let dec_pull = Array.init k (fun _ -> Bitset.create cap) in
-  let stamp = Array.make_matrix k cap (-1) in
-  let pending = Array.init k (fun _ -> Bitset.create cap) in
-  let pending_ids = Array.make_matrix k cap 0 in
-  let pending_len = Array.make k 0 in
-  let channels = ref 0 in
-  (* [Multi] has no churn or crash hook, so [topology.alive] is stable
-     for the whole run: census the population once and keep a per-message
-     informed count incrementally (receiving nodes are always behind a
-     channel whose liveness was just checked). *)
-  let live = ref 0 in
-  for v = 0 to cap - 1 do
-    if topology.alive v then incr live
-  done;
-  let live = !live in
-  let know = Array.make k 0 in
-  let witness = Array.make k 0 in
-  let cur_round = ref 0 in
-  let decide_at j v logical =
-    let d = protocol.decide state.(j).(v) ~round:logical in
-    Bitset.assign dec_push.(j) v d.push;
-    Bitset.assign dec_pull.(j) v d.pull;
-    stamp.(j).(v) <- !cur_round
-  in
-  let push_of j v logical =
-    if stamp.(j).(v) <> !cur_round then decide_at j v logical;
-    Bitset.get dec_push.(j) v
-  in
-  let pull_of j v logical =
-    if stamp.(j).(v) <> !cur_round then decide_at j v logical;
-    Bitset.get dec_pull.(j) v
-  in
-  let horizon =
-    Array.fold_left (fun acc m -> max acc (m.created + protocol.horizon)) 0 msgs
-  in
-  let round = ref 0 in
-  let stop = ref false in
-  while (not !stop) && !round < horizon do
-    incr round;
-    let r = !round in
-    cur_round := r;
-    (* Inject rumors created at the end of the previous round. *)
-    Array.iteri
-      (fun j m ->
-        if m.created = r - 1 && not (Bitset.get informed.(j) m.source) then begin
-          Bitset.set informed.(j) m.source;
-          state.(j).(m.source) <- protocol.init ~informed:true;
-          know.(j) <- know.(j) + 1
-        end)
-      msgs;
-    (* One shared channel set for the round. *)
-    for u = 0 to cap - 1 do
-      if topology.alive u then begin
-        let d = topology.degree u in
-        if d > 0 then begin
-          let kk = Selector.select selector ~rng ~node:u ~degree:d ~out:scratch in
-          for i = 0 to kk - 1 do
-            let w = topology.neighbor u scratch.(i) in
-            if topology.alive w && Fault.channel_ok fault rng then begin
-              incr channels;
-              for j = 0 to k - 1 do
-                let logical = r - msgs.(j).created in
-                if logical >= 1 then begin
-                  if Bitset.get informed.(j) u && push_of j u logical
-                     && Fault.delivery_ok ~dir:`Push fault rng
-                  then begin
-                    tx.(j) <- tx.(j) + 1;
-                    if Bitset.get informed.(j) w then
-                      state.(j).(u) <- protocol.feedback state.(j).(u) ~round:logical
-                    else if not (Bitset.get pending.(j) w) then begin
-                      Bitset.set pending.(j) w;
-                      pending_ids.(j).(pending_len.(j)) <- w;
-                      pending_len.(j) <- pending_len.(j) + 1
-                    end
-                  end;
-                  if Bitset.get informed.(j) w && pull_of j w logical
-                     && Fault.delivery_ok ~dir:`Pull fault rng
-                  then begin
-                    tx.(j) <- tx.(j) + 1;
-                    if Bitset.get informed.(j) u then
-                      state.(j).(w) <- protocol.feedback state.(j).(w) ~round:logical
-                    else if not (Bitset.get pending.(j) u) then begin
-                      Bitset.set pending.(j) u;
-                      pending_ids.(j).(pending_len.(j)) <- u;
-                      pending_len.(j) <- pending_len.(j) + 1
-                    end
-                  end
-                end
-              done
-            end
-          done
-        end
-      end
-    done;
-    (* Apply receipts per message. *)
-    for j = 0 to k - 1 do
-      let logical = r - msgs.(j).created in
-      for i = 0 to pending_len.(j) - 1 do
-        let v = pending_ids.(j).(i) in
-        Bitset.clear pending.(j) v;
-        Bitset.set informed.(j) v;
-        state.(j).(v) <- protocol.receive state.(j).(v) ~round:logical
-      done;
-      know.(j) <- know.(j) + pending_len.(j);
-      pending_len.(j) <- 0
-    done;
-    (* Census: completions from the incremental counts; quiescence by
-       early-exit scan, seeded with the last talkative node (see the
-       witness rationale in {!Engine}). *)
-    let all_quiet = ref true in
-    for j = 0 to k - 1 do
-      if completion.(j) = None && live > 0 && know.(j) = live then
-        completion.(j) <- Some r;
-      if msgs.(j).created >= r then all_quiet := false
-      else if !all_quiet then begin
-        let logical = r - msgs.(j).created in
-        let quiet_at v =
-          logical < 0
-          || protocol.quiescent state.(j).(v) ~round:(logical + 1)
-        in
-        let wt = witness.(j) in
-        if
-          wt < cap && topology.alive wt
-          && Bitset.get informed.(j) wt
-          && not (quiet_at wt)
-        then all_quiet := false
-        else begin
-          let v = ref 0 in
-          while !all_quiet && !v < cap do
-            let u = !v in
-            if topology.alive u && Bitset.get informed.(j) u
-               && not (quiet_at u)
-            then begin
-              all_quiet := false;
-              witness.(j) <- u
-            end;
-            incr v
-          done
-        end
-      end
-    done;
-    if !all_quiet then stop := true
-  done;
-  let messages =
-    Array.init k (fun j ->
-        let know = ref 0 in
-        for v = 0 to cap - 1 do
-          if topology.alive v && Bitset.get informed.(j) v then incr know
-        done;
-        {
-          completion_round = completion.(j);
-          informed = !know;
-          transmissions = tx.(j);
-        })
-  in
+    messages
+
+let tables_of messages =
+  Array.of_list
+    (List.map
+       (fun m -> { Kernel.sources = [ m.source ]; created = m.created })
+       messages)
+
+let of_kernel ~repair (k : Kernel.result) =
   {
-    rounds = !round;
-    channels = !channels;
-    population = live;
-    messages;
+    rounds = k.Kernel.rounds;
+    channels = k.Kernel.channels;
+    population = k.Kernel.population;
+    messages =
+      Array.map
+        (fun (t : Kernel.table_result) ->
+          {
+            completion_round = t.Kernel.completion_round;
+            informed = t.Kernel.informed;
+            transmissions = t.Kernel.push_tx + t.Kernel.pull_tx;
+          })
+        k.Kernel.tables;
+    repair;
+    trace = k.Kernel.trace;
   }
+
+let run ?(fault = Fault.none) ?collect_trace ?on_round_end ?reset ~rng
+    ~topology ~protocol ~messages () =
+  validate ~topology messages;
+  of_kernel ~repair:[]
+    (Kernel.run ~fault:(Kernel.Stateless fault) ?collect_trace ?on_round_end
+       ?reset ~rng ~topology ~protocol ~tables:(tables_of messages) ())
+
+let run_epochs ?fault ?collect_trace ?forget_on_recover ?on_round_end ?reset
+    ?(max_epochs = 8) ~rng ~topology ~protocol ~repair ~messages () =
+  if max_epochs < 0 then invalid_arg "Multi.run_epochs: max_epochs < 0";
+  validate ~topology messages;
+  let k, stats =
+    Kernel.run_epochs ?fault ?collect_trace ?forget_on_recover ?on_round_end
+      ?reset ~max_epochs ~rng ~topology ~protocol ~repair
+      ~tables:(tables_of messages) ()
+  in
+  of_kernel ~repair:stats k

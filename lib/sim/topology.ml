@@ -5,6 +5,7 @@ type t = {
   degree : int -> int;
   neighbor : int -> int -> int;
   alive : int -> bool;
+  live_count : (unit -> int) option;
 }
 
 let of_graph g =
@@ -13,11 +14,15 @@ let of_graph g =
     degree = Graph.degree g;
     neighbor = Graph.neighbor g;
     alive = (fun _ -> true);
+    live_count = Some (fun () -> Graph.n g);
   }
 
 let alive_count t =
-  let count = ref 0 in
-  for v = 0 to t.capacity - 1 do
-    if t.alive v then incr count
-  done;
-  !count
+  match t.live_count with
+  | Some f -> f ()
+  | None ->
+      let count = ref 0 in
+      for v = 0 to t.capacity - 1 do
+        if t.alive v then incr count
+      done;
+      !count

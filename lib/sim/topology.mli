@@ -1,7 +1,7 @@
 (** The simulator's view of a network.
 
     A topology is a record of accessors rather than a concrete graph so
-    that the same engine drives static CSR graphs ({!of_graph}) and the
+    that the same kernel drives static CSR graphs ({!of_graph}) and the
     mutable peer-to-peer overlays of [Rumor_p2p] (which change between
     rounds under churn). Node identifiers are [0 .. capacity-1]; dead
     identifiers (departed peers) are skipped via [alive]. *)
@@ -11,10 +11,17 @@ type t = {
   degree : int -> int;  (** current degree of a node *)
   neighbor : int -> int -> int;  (** [neighbor v i], [0 <= i < degree v] *)
   alive : int -> bool;  (** whether the id denotes a present node *)
+  live_count : (unit -> int) option;
+      (** O(1) live-node count when the backing structure already
+          tracks it (graphs, overlays); [None] makes {!alive_count}
+          fall back to an O(capacity) scan. Must agree with [alive]. *)
 }
 
 val of_graph : Rumor_graph.Graph.t -> t
 (** View a static graph as a topology (every node alive). *)
 
 val alive_count : t -> int
-(** Number of live nodes; O(capacity). *)
+(** Number of live nodes — via [live_count] when provided (O(1)),
+    otherwise by scanning [alive] over the id space. The kernel seeds
+    its incrementally maintained census from this, so broadcast results
+    report live counts without any per-run O(capacity) rescan. *)
