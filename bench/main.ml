@@ -42,6 +42,8 @@ module Experiment = Rumor_stats.Experiment
 module Json = Rumor_obs.Json
 module Metrics = Rumor_obs.Metrics
 module Encode = Rumor_obs.Encode
+module Chaos = Rumor_cli.Chaos
+module Scenario = Rumor_cli.Scenario
 
 let quick = ref false
 let reps_override : int option ref = ref None
@@ -1677,6 +1679,89 @@ let a10 () =
     \ activation per node; the schedule survives desynchronisation with a\n\
     \ widened constant, losing only the lockstep phase boundaries)"
 
+(* A11: chaos soak — randomised fault/churn/repair configurations with
+   the kernel invariant monitor on every round boundary. The
+   bench-grade twin of `rumor chaos`: zero violations expected; the
+   telemetry records how much of the config space one seed covers, so
+   a regression that breaks an invariant shows up as failures > 0 in
+   the record (and fails the CI smoke independently). *)
+let a11 () =
+  section "A11" "extension: chaos soak over random fault configurations";
+  let configs = if !quick then 12 else 48 in
+  let rng = Rng.create 4242 in
+  let axes (s : Scenario.t) =
+    let open Scenario in
+    let on = ref [] in
+    let flag name b = if b then on := name :: !on in
+    flag "loss" (s.loss > 0. || s.call_failure > 0.);
+    flag "burst" (s.burst_loss > 0.);
+    flag "crash" (s.crash_rate > 0.);
+    flag "strike" (s.crash_adversary <> "none");
+    flag "partition" (s.partition_round > 0);
+    flag "churn" (s.join_prob > 0. || s.leave_prob > 0.);
+    flag "repair" (s.max_epochs > 0);
+    flag "estimate" (s.n_error <> 1.);
+    match List.rev !on with [] -> "clean" | l -> String.concat "+" l
+  in
+  let t =
+    Table.create
+      ~columns:
+        [
+          ("config", Table.Right);
+          ("n", Table.Right);
+          ("protocol", Table.Left);
+          ("axes", Table.Left);
+          ("rounds", Table.Right);
+          ("coverage", Table.Right);
+          ("status", Table.Left);
+        ]
+  in
+  let failures = ref 0 and checked = ref 0 and faulty = ref 0 in
+  for i = 1 to configs do
+    let s = Chaos.sample rng in
+    let o = Chaos.run_one s in
+    checked := !checked + o.Chaos.checked;
+    let ax = axes s in
+    if ax <> "clean" then incr faulty;
+    let status =
+      if Chaos.failed o then begin
+        incr failures;
+        "FAIL"
+      end
+      else "ok"
+    in
+    Table.add_row t
+      [
+        string_of_int i;
+        string_of_int s.Scenario.n;
+        s.Scenario.protocol;
+        ax;
+        string_of_int o.Chaos.rounds;
+        Printf.sprintf "%.3f" o.Chaos.coverage;
+        status;
+      ];
+    record_point
+      (Json.Obj
+         [
+           ("n", Json.Int s.Scenario.n);
+           ("protocol", Json.String s.Scenario.protocol);
+           ("axes", Json.String ax);
+           ("digest", Json.String o.Chaos.digest);
+           ("rounds", Json.Int o.Chaos.rounds);
+           ("coverage", Json.Float o.Chaos.coverage);
+           ("violations", Json.Int o.Chaos.violation_count);
+         ])
+  done;
+  Table.print t;
+  Printf.printf
+    "(%d configs: %d with at least one fault axis on, %d round boundaries\n\
+    \ checked by the invariant monitor, %d violation(s))\n"
+    configs !faulty !checked !failures;
+  record "configs" (Json.Int configs);
+  record "faulty_configs" (Json.Int !faulty);
+  record "rounds_checked" (Json.Int !checked);
+  record "failures" (Json.Int !failures)
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks.                                          *)
 (* ------------------------------------------------------------------ *)
@@ -1755,6 +1840,7 @@ let all_experiments =
     ("A8", a8);
     ("A9", a9);
     ("A10", a10);
+    ("A11", a11);
     ("MICRO", micro);
   ]
 

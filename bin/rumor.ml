@@ -8,6 +8,8 @@
      sweep       repeat a broadcast over sizes and seeds, print a table
      churn       broadcast over a dynamic overlay with join/leave
      heal        self-healing broadcast under a hostile fault+churn plan
+     chaos       seeded soak over random fault configs, invariants on
+     replay      re-run a chaos repro artifact and diff its digest
      bench-check validate a BENCH_*.json telemetry file
 
    broadcast, multi, async, sweep and robustness take --json to emit one
@@ -1169,6 +1171,253 @@ let run_cmd =
   let info = Cmd.info "run" ~doc:"Execute a scenario file." in
   Cmd.v info Term.(const run_scenario $ scenario_file_arg)
 
+(* --- chaos / replay --- *)
+
+module Chaos = Rumor_cli.Chaos
+
+let budget_arg =
+  let doc =
+    "Wall-clock budget in seconds (e.g. 60 or 60s). Sampling stops when \
+     the budget is exhausted."
+  in
+  Arg.(value & opt (some string) None & info [ "budget" ] ~docv:"SECONDS" ~doc)
+
+let max_configs_arg =
+  let doc = "Maximum number of sampled configurations." in
+  Arg.(value & opt (some int) None & info [ "max-configs" ] ~docv:"K" ~doc)
+
+let out_dir_arg =
+  let doc = "Directory where repro artifacts are written." in
+  Arg.(value & opt string "chaos-artifacts" & info [ "out" ] ~docv:"DIR" ~doc)
+
+let pin_arg =
+  let doc =
+    "Instead of soaking, run one scenario and write a known-good \
+     rumor-chaos/1 artifact (scenario + expected digest) to $(docv) — \
+     the file `rumor replay` consumes."
+  in
+  Arg.(value & opt (some string) None & info [ "pin" ] ~docv:"FILE" ~doc)
+
+let pin_scenario_arg =
+  let doc =
+    "Scenario file to pin (with --pin). Defaults to the first sampled \
+     configuration."
+  in
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "pin-scenario" ] ~docv:"SCENARIO" ~doc)
+
+let parse_budget s =
+  let s = String.trim s in
+  let s =
+    if String.length s > 0 && s.[String.length s - 1] = 's' then
+      String.sub s 0 (String.length s - 1)
+    else s
+  in
+  match float_of_string_opt s with
+  | Some b when b > 0. -> Some b
+  | _ -> None
+
+let ensure_dir d = if not (Sys.file_exists d) then Unix.mkdir d 0o755
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let outcome_failure_json file (o : Chaos.outcome) =
+  Json.Obj
+    [
+      ("artifact", Json.String file);
+      ("digest", Json.String o.Chaos.digest);
+      ( "error",
+        match o.Chaos.error with Some e -> Json.String e | None -> Json.Null );
+      ( "violations",
+        Json.List (List.map Encode.violation o.Chaos.violations) );
+    ]
+
+let describe_failure (o : Chaos.outcome) =
+  match o.Chaos.error with
+  | Some e -> "crash: " ^ e
+  | None -> (
+      match o.Chaos.violations with
+      | v :: _ ->
+          Format.asprintf "%a (%d total)" Rumor_sim.Invariant.pp_violation v
+            o.Chaos.violation_count
+      | [] -> "unknown failure")
+
+let chaos seed budget max_configs out json pin pin_scenario =
+  match pin with
+  | Some pin_file -> (
+      (* Pin mode: one run, one artifact, no soaking. *)
+      let scenario =
+        match pin_scenario with
+        | Some path -> (
+            match Rumor_cli.Scenario.parse_file path with
+            | Ok s -> Ok { s with Rumor_cli.Scenario.reps = 1; domains = 1 }
+            | Error e -> Error ("scenario error: " ^ e))
+        | None -> Ok (Chaos.sample (Rng.create seed))
+      in
+      match scenario with
+      | Error msg ->
+          prerr_endline msg;
+          2
+      | Ok s ->
+          let o = Chaos.run_one s in
+          let notes =
+            if Chaos.failed o then [ "FAILING repro: " ^ describe_failure o ]
+            else [ "known-good pinned run" ]
+          in
+          write_file pin_file (Chaos.artifact ~notes ~digest:o.Chaos.digest s);
+          Printf.printf "pinned %s (digest %s, %d rounds, %s)\n" pin_file
+            o.Chaos.digest o.Chaos.rounds
+            (if Chaos.failed o then "FAILING" else "clean");
+          if Chaos.failed o then 1 else 0)
+  | None ->
+      let budget_s =
+        Option.map
+          (fun b ->
+            match parse_budget b with
+            | Some s -> s
+            | None ->
+                prerr_endline ("chaos: bad --budget " ^ b);
+                exit 2)
+          budget
+      in
+      let deadline = Option.map (fun b -> Unix.gettimeofday () +. b) budget_s in
+      let limit =
+        match (max_configs, budget_s) with
+        | Some k, _ -> k
+        | None, Some _ -> max_int
+        | None, None -> 25
+      in
+      let rng = Rng.create seed in
+      let failures = ref [] in
+      let runs = ref 0 in
+      let checked = ref 0 in
+      while
+        !runs < limit
+        && (match deadline with
+           | Some t -> Unix.gettimeofday () < t
+           | None -> true)
+      do
+        let s = Chaos.sample rng in
+        let o = Chaos.run_one s in
+        incr runs;
+        checked := !checked + o.Chaos.checked;
+        if Chaos.failed o then begin
+          if not json then
+            Printf.printf "config %d FAILED: %s\n%!" !runs (describe_failure o);
+          let fails c = Chaos.failed (Chaos.run_one c) in
+          let small = Chaos.shrink ~fails o.Chaos.scenario in
+          let so = Chaos.run_one small in
+          ensure_dir out;
+          let file =
+            Filename.concat out (Printf.sprintf "chaos-%d-%03d.txt" seed !runs)
+          in
+          write_file file
+            (Chaos.artifact
+               ~notes:[ "FAILING repro: " ^ describe_failure so ]
+               ~digest:so.Chaos.digest small);
+          if not json then
+            Printf.printf "  shrunk repro written to %s\n%!" file;
+          failures := (file, so) :: !failures
+        end
+      done;
+      let failures = List.rev !failures in
+      if json then
+        print_endline
+          (Json.to_string
+             (Json.Obj
+                [
+                  ("schema", Json.String "rumor-chaos/1");
+                  ("seed", Json.Int seed);
+                  ("configs", Json.Int !runs);
+                  ("rounds_checked", Json.Int !checked);
+                  ("failures", Json.Int (List.length failures));
+                  ( "repros",
+                    Json.List
+                      (List.map
+                         (fun (f, o) -> outcome_failure_json f o)
+                         failures) );
+                ]))
+      else
+        Printf.printf
+          "chaos soak: %d configs, %d round boundaries checked, %d failure(s)\n"
+          !runs !checked (List.length failures);
+      if failures = [] then 0 else 1
+
+let chaos_cmd =
+  let info =
+    Cmd.info "chaos"
+      ~doc:
+        "Seeded chaos soak: sample random fault/churn/repair configurations, \
+         run each with the kernel invariant monitor on, and write a shrunk \
+         repro artifact for every violation or crash."
+  in
+  Cmd.v info
+    Term.(
+      const chaos $ seed_arg $ budget_arg $ max_configs_arg $ out_dir_arg
+      $ json_arg $ pin_arg $ pin_scenario_arg)
+
+let artifact_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"ARTIFACT" ~doc:"rumor-chaos/1 repro artifact file.")
+
+let replay path json =
+  match Chaos.parse_artifact_file path with
+  | Error msg ->
+      prerr_endline ("replay error: " ^ msg);
+      2
+  | Ok (s, expect) ->
+      let o = Chaos.run_one s in
+      let matched = String.equal o.Chaos.digest expect in
+      if json then
+        print_endline
+          (Json.to_string
+             (Json.Obj
+                [
+                  ("schema", Json.String "rumor-chaos/1");
+                  ("artifact", Json.String path);
+                  ("expect_digest", Json.String expect);
+                  ("digest", Json.String o.Chaos.digest);
+                  ("match", Json.Bool matched);
+                  ("rounds", Json.Int o.Chaos.rounds);
+                  ("coverage", Json.Float o.Chaos.coverage);
+                  ( "error",
+                    match o.Chaos.error with
+                    | Some e -> Json.String e
+                    | None -> Json.Null );
+                  ( "violations",
+                    Json.List (List.map Encode.violation o.Chaos.violations) );
+                ]))
+      else begin
+        Printf.printf "replayed %s: digest %s (expected %s) — %s\n" path
+          o.Chaos.digest expect
+          (if matched then "match" else "MISMATCH");
+        (match o.Chaos.error with
+        | Some e -> Printf.printf "  crash: %s\n" e
+        | None -> ());
+        List.iter
+          (fun v ->
+            Format.printf "  violation: %a@." Rumor_sim.Invariant.pp_violation
+              v)
+          o.Chaos.violations
+      end;
+      if matched then 0 else 1
+
+let replay_cmd =
+  let info =
+    Cmd.info "replay"
+      ~doc:
+        "Re-run a rumor-chaos/1 repro artifact bit-identically and diff its \
+         trajectory digest."
+  in
+  Cmd.v info Term.(const replay $ artifact_arg $ json_arg)
+
 (* --- bench-check --- *)
 
 let bench_file_arg =
@@ -1273,5 +1522,7 @@ let () =
             run_cmd;
             robustness_cmd;
             heal_cmd;
+            chaos_cmd;
+            replay_cmd;
             bench_check_cmd;
           ]))

@@ -7,6 +7,8 @@ module Algorithm = Rumor_core.Algorithm
 module Baselines = Rumor_core.Baselines
 module Run_ = Rumor_core.Run
 module Repair = Rumor_core.Repair
+module Overlay = Rumor_p2p.Overlay
+module Churn = Rumor_p2p.Churn
 module Summary = Rumor_stats.Summary
 module Experiment = Rumor_stats.Experiment
 
@@ -27,6 +29,12 @@ type t = {
   crash_adversary : string;
   crash_count : int;
   crash_round : int;
+  strike_every : int;
+  partition_round : int;
+  heal_round : int;
+  partition_fraction : float;
+  join_prob : float;
+  leave_prob : float;
   n_error : float;
   repair_timeout : int;
   repair_backoff : int;
@@ -53,6 +61,12 @@ let default =
     crash_adversary = "none";
     crash_count = 0;
     crash_round = 1;
+    strike_every = 0;
+    partition_round = 0;
+    heal_round = 0;
+    partition_fraction = 0.5;
+    join_prob = 0.;
+    leave_prob = 0.;
     n_error = 1.;
     repair_timeout = 2;
     repair_backoff = 8;
@@ -66,21 +80,10 @@ let protocols = [ "bef"; "bef-seq"; "push"; "pull"; "push-pull"; "quasirandom" ]
 let adversaries = [ "none"; "random"; "degree"; "frontier" ]
 
 let parse text =
-  let err line msg = Error (Printf.sprintf "line %d: %s" line msg) in
   let strip_comment s =
     match String.index_opt s '#' with
     | Some i -> String.sub s 0 i
     | None -> s
-  in
-  let parse_int line v k =
-    match int_of_string_opt (String.trim v) with
-    | Some x -> k x
-    | None -> err line "expected an integer"
-  in
-  let parse_float line v k =
-    match float_of_string_opt (String.trim v) with
-    | Some x -> k x
-    | None -> err line "expected a number"
   in
   let lines = String.split_on_char '\n' text in
   let rec go acc seen i = function
@@ -91,113 +94,164 @@ let parse text =
                "burst_loss %.2f is unrealisable with burst_len %.1f (max %.2f)"
                acc.burst_loss acc.burst_len
                (acc.burst_len /. (acc.burst_len +. 1.)))
+        else if acc.partition_round > 0 && acc.heal_round <= acc.partition_round
+        then
+          Error
+            (Printf.sprintf
+               "heal_round %d must be greater than partition_round %d"
+               acc.heal_round acc.partition_round)
         else Ok acc
     | raw :: rest -> begin
         let line = i + 1 in
+        (* Every message names the line and quotes its raw text, so a
+           bad value in a long file is findable without counting. *)
+        let err msg =
+          Error
+            (Printf.sprintf "line %d: %s (in %S)" line msg (String.trim raw))
+        in
+        let parse_int v k =
+          match int_of_string_opt (String.trim v) with
+          | Some x -> k x
+          | None -> err "expected an integer"
+        in
+        let parse_float v k =
+          match float_of_string_opt (String.trim v) with
+          | Some x -> k x
+          | None -> err "expected a number"
+        in
         let s = String.trim (strip_comment raw) in
         if s = "" then go acc seen (i + 1) rest
         else
           match String.index_opt s '=' with
-          | None -> err line "expected 'key = value'"
+          | None -> err "expected 'key = value'"
           | Some eq -> begin
               let key = String.trim (String.sub s 0 eq) in
               let value = String.trim (String.sub s (eq + 1) (String.length s - eq - 1)) in
               match List.assoc_opt key seen with
               | Some first ->
-                  err line
+                  err
                     (Printf.sprintf "duplicate key '%s' (already set on line %d)"
                        key first)
               | None -> begin
               let seen = (key, line) :: seen in
               let continue acc = go acc seen (i + 1) rest in
               match key with
-              | "seed" -> parse_int line value (fun x -> continue { acc with seed = x })
+              | "seed" -> parse_int value (fun x -> continue { acc with seed = x })
               | "n" ->
-                  parse_int line value (fun x ->
-                      if x < 4 then err line "n must be >= 4"
+                  parse_int value (fun x ->
+                      if x < 4 then err "n must be >= 4"
                       else continue { acc with n = x })
               | "d" ->
-                  parse_int line value (fun x ->
-                      if x < 1 then err line "d must be >= 1"
+                  parse_int value (fun x ->
+                      if x < 1 then err "d must be >= 1"
                       else continue { acc with d = x })
               | "topology" ->
                   if List.mem value topologies then continue { acc with topology = value }
-                  else err line ("unknown topology: " ^ value)
+                  else err ("unknown topology: " ^ value)
               | "protocol" ->
                   if List.mem value protocols then continue { acc with protocol = value }
-                  else err line ("unknown protocol: " ^ value)
+                  else err ("unknown protocol: " ^ value)
               | "alpha" ->
-                  parse_float line value (fun x ->
-                      if x <= 0. then err line "alpha must be positive"
+                  parse_float value (fun x ->
+                      if x <= 0. then err "alpha must be positive"
                       else continue { acc with alpha = x })
               | "fanout" ->
-                  parse_int line value (fun x ->
-                      if x < 1 then err line "fanout must be >= 1"
+                  parse_int value (fun x ->
+                      if x < 1 then err "fanout must be >= 1"
                       else continue { acc with fanout = x })
               | "loss" ->
-                  parse_float line value (fun x ->
-                      if x < 0. || x > 1. then err line "loss must be in [0, 1]"
+                  parse_float value (fun x ->
+                      if x < 0. || x > 1. then err "loss must be in [0, 1]"
                       else continue { acc with loss = x })
               | "call_failure" ->
-                  parse_float line value (fun x ->
-                      if x < 0. || x > 1. then err line "call_failure must be in [0, 1]"
+                  parse_float value (fun x ->
+                      if x < 0. || x > 1. then err "call_failure must be in [0, 1]"
                       else continue { acc with call_failure = x })
               | "burst_loss" ->
-                  parse_float line value (fun x ->
+                  parse_float value (fun x ->
                       if x < 0. || x >= 1. then
-                        err line "burst_loss must be in [0, 1)"
+                        err "burst_loss must be in [0, 1)"
                       else continue { acc with burst_loss = x })
               | "burst_len" ->
-                  parse_float line value (fun x ->
-                      if x < 1. then err line "burst_len must be >= 1"
+                  parse_float value (fun x ->
+                      if x < 1. then err "burst_len must be >= 1"
                       else continue { acc with burst_len = x })
               | "crash_rate" ->
-                  parse_float line value (fun x ->
+                  parse_float value (fun x ->
                       if x < 0. || x > 1. then
-                        err line "crash_rate must be in [0, 1]"
+                        err "crash_rate must be in [0, 1]"
                       else continue { acc with crash_rate = x })
               | "recover_rate" ->
-                  parse_float line value (fun x ->
+                  parse_float value (fun x ->
                       if x < 0. || x > 1. then
-                        err line "recover_rate must be in [0, 1]"
+                        err "recover_rate must be in [0, 1]"
                       else continue { acc with recover_rate = x })
               | "crash_adversary" ->
                   if List.mem value adversaries then
                     continue { acc with crash_adversary = value }
-                  else err line ("unknown crash_adversary: " ^ value)
+                  else err ("unknown crash_adversary: " ^ value)
               | "crash_count" ->
-                  parse_int line value (fun x ->
-                      if x < 0 then err line "crash_count must be >= 0"
+                  parse_int value (fun x ->
+                      if x < 0 then err "crash_count must be >= 0"
                       else continue { acc with crash_count = x })
               | "crash_round" ->
-                  parse_int line value (fun x ->
-                      if x < 1 then err line "crash_round must be >= 1"
+                  parse_int value (fun x ->
+                      if x < 1 then err "crash_round must be >= 1"
                       else continue { acc with crash_round = x })
+              | "strike_every" ->
+                  parse_int value (fun x ->
+                      if x < 0 then
+                        err "strike_every must be >= 0 (0 = one-shot)"
+                      else continue { acc with strike_every = x })
+              | "partition_round" ->
+                  parse_int value (fun x ->
+                      if x < 0 then
+                        err "partition_round must be >= 0 (0 = off)"
+                      else continue { acc with partition_round = x })
+              | "heal_round" ->
+                  parse_int value (fun x ->
+                      if x < 0 then err "heal_round must be >= 0"
+                      else continue { acc with heal_round = x })
+              | "partition_fraction" ->
+                  parse_float value (fun x ->
+                      if x < 0. || x > 1. then
+                        err "partition_fraction must be in [0, 1]"
+                      else continue { acc with partition_fraction = x })
+              | "join_prob" ->
+                  parse_float value (fun x ->
+                      if x < 0. || x > 1. then
+                        err "join_prob must be in [0, 1]"
+                      else continue { acc with join_prob = x })
+              | "leave_prob" ->
+                  parse_float value (fun x ->
+                      if x < 0. || x > 1. then
+                        err "leave_prob must be in [0, 1]"
+                      else continue { acc with leave_prob = x })
               | "n_error" ->
-                  parse_float line value (fun x ->
-                      if x <= 0. then err line "n_error must be positive"
+                  parse_float value (fun x ->
+                      if x <= 0. then err "n_error must be positive"
                       else continue { acc with n_error = x })
               | "repair_timeout" ->
-                  parse_int line value (fun x ->
-                      if x < 0 then err line "repair_timeout must be >= 0"
+                  parse_int value (fun x ->
+                      if x < 0 then err "repair_timeout must be >= 0"
                       else continue { acc with repair_timeout = x })
               | "repair_backoff" ->
-                  parse_int line value (fun x ->
-                      if x < 1 then err line "repair_backoff must be >= 1"
+                  parse_int value (fun x ->
+                      if x < 1 then err "repair_backoff must be >= 1"
                       else continue { acc with repair_backoff = x })
               | "max_epochs" ->
-                  parse_int line value (fun x ->
-                      if x < 0 then err line "max_epochs must be >= 0"
+                  parse_int value (fun x ->
+                      if x < 0 then err "max_epochs must be >= 0"
                       else continue { acc with max_epochs = x })
               | "reps" ->
-                  parse_int line value (fun x ->
-                      if x < 1 then err line "reps must be >= 1"
+                  parse_int value (fun x ->
+                      if x < 1 then err "reps must be >= 1"
                       else continue { acc with reps = x })
               | "domains" ->
-                  parse_int line value (fun x ->
-                      if x < 0 then err line "domains must be >= 0 (0 = auto)"
+                  parse_int value (fun x ->
+                      if x < 0 then err "domains must be >= 0 (0 = auto)"
                       else continue { acc with domains = x })
-              | other -> err line ("unknown key: " ^ other)
+              | other -> err ("unknown key: " ^ other)
               end
             end
       end
@@ -261,11 +315,20 @@ let fault_plan t =
         | "frontier" -> Fault.Frontier
         | other -> failwith (Printf.sprintf "unknown crash_adversary %S" other)
       in
-      Some (Fault.strike ~adversary ~at_round:t.crash_round ~count:t.crash_count ())
+      Some
+        (Fault.strike ~adversary ~every:t.strike_every ~at_round:t.crash_round
+           ~count:t.crash_count ())
+    else None
+  in
+  let partition =
+    if t.partition_round > 0 then
+      Some
+        (Fault.partition ~fraction:t.partition_fraction
+           ~split_at:t.partition_round ~heal_at:t.heal_round ())
     else None
   in
   Fault.plan ~call_failure:t.call_failure ~link_loss:t.loss ?burst
-    ~crash_rate:t.crash_rate ~recover_rate:t.recover_rate ?strike ()
+    ~crash_rate:t.crash_rate ~recover_rate:t.recover_rate ?strike ?partition ()
 
 type report = {
   scenario : t;
@@ -314,12 +377,44 @@ let run scenario =
         in
         protocol_name := p.Rumor_sim.Protocol.name;
         let source = Run_.random_source rng g in
-        match repair_config with
-        | Some config ->
-            Repair.heal ~fault ~config ~rng ~graph:g ~protocol:p ~source ()
-        | None ->
-            Run_.once ~fault ~stop_when_complete:stop ~rng ~graph:g ~protocol:p
-              ~source ())
+        let churn_on = scenario.join_prob > 0. || scenario.leave_prob > 0. in
+        if churn_on then begin
+          (* Session churn mutates an overlay copy of the graph; ids
+             handed out for joins are reset to uninformed. Extra
+             capacity leaves room for joins beyond the initial size. *)
+          let o = Overlay.of_graph ~capacity:(2 * n_real) g in
+          let topology = Overlay.to_topology o in
+          let joined = ref [] in
+          let on_round_end _ =
+            let ev =
+              Churn.session o ~rng ~d:scenario.d ~join_prob:scenario.join_prob
+                ~leave_prob:scenario.leave_prob ()
+            in
+            match ev.Churn.joined with
+            | Some v -> joined := v :: !joined
+            | None -> ()
+          in
+          let reset () =
+            let l = !joined in
+            joined := [];
+            l
+          in
+          match repair_config with
+          | Some config ->
+              Repair.self_heal ~fault ~config ~reset ~on_round_end ~rng
+                ~topology ~protocol:p ~sources:[ source ] ()
+          | None ->
+              Engine.run ~fault ~forget_on_recover:true ~reset ~on_round_end
+                ~stop_when_complete:stop ~rng ~topology ~protocol:p
+                ~sources:[ source ] ()
+        end
+        else
+          match repair_config with
+          | Some config ->
+              Repair.heal ~fault ~config ~rng ~graph:g ~protocol:p ~source ()
+          | None ->
+              Run_.once ~fault ~stop_when_complete:stop ~rng ~graph:g
+                ~protocol:p ~source ())
   in
   let of_metric f = Summary.of_list (List.map f results) in
   {
@@ -355,8 +450,18 @@ let pp_report ppf r =
       (Printf.sprintf ", crash %.3f/recover %.3f" s.crash_rate s.recover_rate);
   if s.crash_adversary <> "none" && s.crash_count > 0 then
     Buffer.add_string faults
-      (Printf.sprintf ", strike %s x%d @ round %d" s.crash_adversary
-         s.crash_count s.crash_round);
+      (Printf.sprintf ", strike %s x%d @ round %d%s" s.crash_adversary
+         s.crash_count s.crash_round
+         (if s.strike_every > 0 then
+            Printf.sprintf " (recurring every %d)" s.strike_every
+          else ""));
+  if s.partition_round > 0 then
+    Buffer.add_string faults
+      (Printf.sprintf ", partition rounds %d..%d (fraction %.2f)"
+         s.partition_round s.heal_round s.partition_fraction);
+  if s.join_prob > 0. || s.leave_prob > 0. then
+    Buffer.add_string faults
+      (Printf.sprintf ", churn join %.2f/leave %.2f" s.join_prob s.leave_prob);
   let repair = Buffer.create 64 in
   if s.max_epochs > 0 then
     Buffer.add_string repair

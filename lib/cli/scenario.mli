@@ -20,10 +20,21 @@
     Fault-injection keys build a full {!Rumor_sim.Fault.t} plan:
     [burst_loss] / [burst_len] (Gilbert–Elliott bursty loss),
     [crash_rate] / [recover_rate] (crash-stop / crash-recovery),
-    [crash_adversary] (none|random|degree|frontier) with [crash_count]
-    and [crash_round] (one-shot adversarial kill), and [n_error] (the
-    protocol is built with [n_estimate = n_error * n], testing the
-    constant-factor-estimate claim).
+    [crash_adversary] (none|random|degree|frontier) with [crash_count],
+    [crash_round] and [strike_every] (0 = one-shot; [k > 0] re-fires
+    the strike every [k] rounds, re-targeting each time — a recurring
+    [frontier] strike is an adaptive adversary), [partition_round] /
+    [heal_round] / [partition_fraction] (a transient partition window:
+    split at [partition_round], heal at [heal_round] — required to be
+    later), and [n_error] (the protocol is built with
+    [n_estimate = n_error * n], testing the constant-factor-estimate
+    claim).
+
+    Churn keys [join_prob] / [leave_prob] run the broadcast on a
+    mutable overlay with one {!Rumor_p2p.Churn.session} tick per round;
+    joins re-enter uninformed. Either key nonzero enables the churn
+    harness (and, with repair on, combines it with self-healing
+    epochs).
 
     Self-healing keys enable {!Rumor_core.Repair} epochs after the main
     schedule: [max_epochs] (0, the default, disables repair),
@@ -33,7 +44,8 @@
     uninformed) and the report gains epoch/overhead summaries.
 
     Unknown keys, duplicate keys, malformed values and out-of-range
-    parameters are rejected with a line-numbered message. The CLI's
+    parameters are rejected with a message carrying the offending line
+    number {e and} its raw text. The CLI's
     [run] subcommand executes scenario files; the module is also the
     shared home of the topology/protocol factories used across the
     binaries. *)
@@ -53,8 +65,14 @@ type t = {
   crash_rate : float;  (** per-node per-round crash probability *)
   recover_rate : float;  (** per-crashed-node per-round recovery probability *)
   crash_adversary : string;  (** none|random|degree|frontier *)
-  crash_count : int;  (** nodes killed by the one-shot strike *)
-  crash_round : int;  (** round at which the strike lands *)
+  crash_count : int;  (** nodes killed per strike firing *)
+  crash_round : int;  (** round at which the strike (first) lands *)
+  strike_every : int;  (** 0 = one-shot; k > 0 re-fires every k rounds *)
+  partition_round : int;  (** round the partition opens; 0 = off *)
+  heal_round : int;  (** round the partition heals; > [partition_round] *)
+  partition_fraction : float;  (** minority-side probability per node *)
+  join_prob : float;  (** per-round join probability (churn harness) *)
+  leave_prob : float;  (** per-round leave probability (churn harness) *)
   n_error : float;  (** n_estimate = n_error * n *)
   repair_timeout : int;
       (** silent rounds before an uninformed node starts pulling *)

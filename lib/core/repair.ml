@@ -86,13 +86,15 @@ let strategy cfg ~rng ~capacity ~epoch:_ ~knows =
   { Engine.epoch_protocol = protocol cfg; epoch_gate = gate }
 
 let self_heal ?fault ?collect_trace ?(forget_on_recover = true) ?reset
-    ?on_round_end ?skew ~config:cfg ~rng ~topology ~protocol ~sources () =
+    ?on_round_end ?skew ?monitor ~config:cfg ~rng ~topology ~protocol ~sources
+    () =
   Engine.run_epochs ?fault ?collect_trace ~forget_on_recover ?reset
-    ?on_round_end ?skew ~max_epochs:cfg.max_epochs ~rng ~topology ~protocol
+    ?on_round_end ?skew ~max_epochs:cfg.max_epochs ?monitor ~rng ~topology
+    ~protocol
     ~repair:(strategy cfg ~rng ~capacity:topology.Topology.capacity)
     ~sources ()
 
-let heal ?fault ?collect_trace ?forget_on_recover ~config ~rng ~graph ~protocol
-    ~source () =
-  self_heal ?fault ?collect_trace ?forget_on_recover ~config ~rng
+let heal ?fault ?collect_trace ?forget_on_recover ?monitor ~config ~rng ~graph
+    ~protocol ~source () =
+  self_heal ?fault ?collect_trace ?forget_on_recover ?monitor ~config ~rng
     ~topology:(Topology.of_graph graph) ~protocol ~sources:[ source ] ()

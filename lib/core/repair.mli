@@ -76,6 +76,7 @@ val self_heal :
   ?reset:(unit -> int list) ->
   ?on_round_end:(int -> unit) ->
   ?skew:(int -> int) ->
+  ?monitor:Rumor_sim.Invariant.t ->
   config:config ->
   rng:Rumor_rng.Rng.t ->
   topology:Rumor_sim.Topology.t ->
@@ -95,6 +96,7 @@ val heal :
   ?fault:Rumor_sim.Fault.t ->
   ?collect_trace:bool ->
   ?forget_on_recover:bool ->
+  ?monitor:Rumor_sim.Invariant.t ->
   config:config ->
   rng:Rumor_rng.Rng.t ->
   graph:Rumor_graph.Graph.t ->

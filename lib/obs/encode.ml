@@ -107,6 +107,14 @@ let async_result (r : Async.result) =
       ("transmissions", Json.Int r.Async.transmissions);
     ]
 
+let violation (v : Rumor_sim.Invariant.violation) =
+  Json.Obj
+    [
+      ("check", Json.String v.Rumor_sim.Invariant.check);
+      ("round", Json.Int v.Rumor_sim.Invariant.round);
+      ("detail", Json.String v.Rumor_sim.Invariant.detail);
+    ]
+
 let trace_row (r : Trace.row) =
   Json.Obj
     [

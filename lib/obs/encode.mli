@@ -34,6 +34,10 @@ val async_result : Rumor_sim.Async.result -> Json.t
 (** [{activations, time, completion_time, informed, transmissions}].
     The per-unit trace is omitted — use {!trace_ndjson}. *)
 
+val violation : Rumor_sim.Invariant.violation -> Json.t
+(** One runtime-monitor violation: [{check, round, detail}] — the
+    chaos runner's ([rumor chaos --json]) failure records. *)
+
 val trace_row : Rumor_sim.Trace.row -> Json.t
 (** One per-round record
     [{round, informed, newly, push_tx, pull_tx, channels}]. *)

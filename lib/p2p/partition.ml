@@ -2,7 +2,43 @@ module Rng = Rumor_rng.Rng
 
 type t = { mutable removed : (int * int) list; mutable healed : bool }
 
+(* One overlay carries at most one unhealed cut at a time: stacked cuts
+   would make [heal] order-dependent (a second split could remove edges
+   the first one is about to re-add, silently corrupting the degree
+   sequence). The registry holds weak references so abandoned overlays
+   do not leak, and a mutex keeps it safe under [Experiment]'s domain
+   fan-out. *)
+let registry : (Overlay.t Weak.t * t) list ref = ref []
+let registry_mu = Mutex.create ()
+
+let locked f =
+  Mutex.lock registry_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mu) f
+
+let entry_of o (w, p) =
+  (not p.healed) && (match Weak.get w 0 with Some o' -> o' == o | None -> false)
+
+let entry_live (w, p) =
+  (not p.healed) && Weak.get w 0 <> None
+
+let assert_no_outstanding ~where o =
+  locked (fun () ->
+      registry := List.filter entry_live !registry;
+      if List.exists (entry_of o) !registry then
+        invalid_arg
+          (where ^ ": overlay already has an outstanding unhealed cut"))
+
+let register o t =
+  if not t.healed then
+    locked (fun () ->
+        let w = Weak.create 1 in
+        Weak.set w 0 (Some o);
+        registry := (w, t) :: !registry)
+
 let split_by o ~side =
+  (* Refuse before touching the overlay, so a raised call mutates
+     nothing. *)
+  assert_no_outstanding ~where:"Partition.split_by" o;
   let removed = ref [] in
   let cap = Overlay.capacity o in
   for v = 0 to cap - 1 do
@@ -14,7 +50,10 @@ let split_by o ~side =
             removed := (v, w) :: !removed)
         (Overlay.neighbors o v)
   done;
-  { removed = !removed; healed = false }
+  (* An empty cut needs no healing and never blocks a later split. *)
+  let t = { removed = !removed; healed = !removed = [] } in
+  register o t;
+  t
 
 let split_random o ~rng ~fraction =
   if fraction < 0. || fraction > 1. then
@@ -36,5 +75,7 @@ let heal o t =
           Overlay.add_edge o u v)
       t.removed;
     t.healed <- true;
-    t.removed <- []
+    t.removed <- [];
+    (* Drop the (now healed) entry eagerly so the registry stays small. *)
+    locked (fun () -> registry := List.filter entry_live !registry)
   end

@@ -35,6 +35,7 @@ val run :
   ?collect_trace:bool ->
   ?on_round_end:(int -> unit) ->
   ?reset:(unit -> int list) ->
+  ?monitor:Invariant.t ->
   rng:Rumor_rng.Rng.t ->
   graph:Rumor_graph.Graph.t ->
   protocol:'st Protocol.t ->

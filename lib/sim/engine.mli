@@ -81,6 +81,7 @@ val run :
   ?reset:(unit -> int list) ->
   ?on_round_end:(int -> unit) ->
   ?skew:(int -> int) ->
+  ?monitor:Invariant.t ->
   rng:Rumor_rng.Rng.t ->
   topology:Topology.t ->
   protocol:'st Protocol.t ->
@@ -157,6 +158,7 @@ val run_epochs :
   ?on_round_end:(int -> unit) ->
   ?skew:(int -> int) ->
   ?max_epochs:int ->
+  ?monitor:Invariant.t ->
   rng:Rumor_rng.Rng.t ->
   topology:Topology.t ->
   protocol:'st Protocol.t ->

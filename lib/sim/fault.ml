@@ -4,7 +4,14 @@ type burst = { loss : float; burst_len : float }
 
 type adversary = Random_nodes | Highest_degree | Frontier
 
-type strike = { at_round : int; count : int; adversary : adversary }
+type strike = {
+  at_round : int;
+  count : int;
+  every : int;  (* 0 = one-shot; k > 0 re-fires every k rounds *)
+  adversary : adversary;
+}
+
+type partition = { split_at : int; heal_at : int; cut_fraction : float }
 
 type t = {
   call_failure : float;
@@ -15,6 +22,7 @@ type t = {
   crash_rate : float;
   recover_rate : float;
   strike : strike option;
+  partition : partition option;
 }
 
 let none =
@@ -27,6 +35,7 @@ let none =
     crash_rate = 0.;
     recover_rate = 0.;
     strike = None;
+    partition = None;
   }
 
 let check_prob where name p =
@@ -49,14 +58,28 @@ let burst ~loss ~burst_len =
     invalid_arg "Fault.burst: loss too high for this burst_len";
   { loss; burst_len }
 
-let strike ?(adversary = Random_nodes) ~at_round ~count () =
+let strike ?(adversary = Random_nodes) ?(every = 0) ~at_round ~count () =
   if at_round < 1 then invalid_arg "Fault.strike: at_round must be >= 1";
   if count < 0 then invalid_arg "Fault.strike: count must be >= 0";
-  { at_round; count; adversary }
+  if every < 0 then invalid_arg "Fault.strike: every must be >= 0";
+  { at_round; count; every; adversary }
+
+let strike_fires s ~round =
+  round = s.at_round
+  || (s.every > 0 && round > s.at_round
+      && (round - s.at_round) mod s.every = 0)
+
+let partition ?(fraction = 0.5) ~split_at ~heal_at () =
+  if split_at < 1 then
+    invalid_arg "Fault.partition: split_at must be >= 1";
+  if heal_at <= split_at then
+    invalid_arg "Fault.partition: heal_at must be > split_at";
+  check_prob "Fault.partition" "fraction" fraction;
+  { split_at; heal_at; cut_fraction = fraction }
 
 let plan ?(call_failure = 0.) ?(link_loss = 0.) ?(push_loss = 0.)
     ?(pull_loss = 0.) ?burst ?(crash_rate = 0.) ?(recover_rate = 0.) ?strike
-    () =
+    ?partition () =
   check_prob "Fault.plan" "call_failure" call_failure;
   check_prob "Fault.plan" "link_loss" link_loss;
   check_prob "Fault.plan" "push_loss" push_loss;
@@ -72,6 +95,7 @@ let plan ?(call_failure = 0.) ?(link_loss = 0.) ?(push_loss = 0.)
     crash_rate;
     recover_rate;
     strike;
+    partition;
   }
 
 let has_node_faults t =
@@ -97,6 +121,8 @@ type runtime = {
   down : bool array;  (* crashed node ids; [||] when unused *)
   ge_enter : float;  (* good -> bad transition probability *)
   ge_leave : float;  (* bad -> good transition probability *)
+  side : bool array;  (* partition side per node; [||] when unused *)
+  mutable cut_active : bool;  (* a partition window is currently open *)
 }
 
 let start plan ~capacity =
@@ -114,7 +140,12 @@ let start plan ~capacity =
     | Some b -> (b.loss /. ((1. -. b.loss) *. b.burst_len), 1. /. b.burst_len)
     | None -> (0., 0.)
   in
-  { plan; capacity; bad; down; ge_enter; ge_leave }
+  let side =
+    match plan.partition with
+    | Some _ -> Array.make capacity false
+    | None -> [||]
+  in
+  { plan; capacity; bad; down; ge_enter; ge_leave; side; cut_active = false }
 
 let active rt v = Array.length rt.down = 0 || not rt.down.(v)
 let bursting rt v = Array.length rt.bad > 0 && rt.bad.(v)
@@ -174,10 +205,27 @@ let begin_round ?on_recover ?on_crash rt ~rng ~round ~degree ~alive ~informed =
         end
       done;
     match rt.plan.strike with
-    | Some s when s.at_round = round ->
+    | Some s when strike_fires s ~round ->
         apply_strike ?on_crash rt ~rng ~degree ~alive ~informed s
     | Some _ | None -> ()
-  end
+  end;
+  match rt.plan.partition with
+  | Some p ->
+      if round = p.split_at then begin
+        (* Sample every node's side, dead or alive, so the draw count is
+           a function of capacity alone (randomness-order contract). *)
+        for v = 0 to rt.capacity - 1 do
+          rt.side.(v) <- Rng.bernoulli rng p.cut_fraction
+        done;
+        rt.cut_active <- true
+      end
+      else if round = p.heal_at then rt.cut_active <- false
+  | None -> ()
+
+let same_side rt u v =
+  (not rt.cut_active) || rt.side.(u) = rt.side.(v)
+
+let partition_active rt = rt.cut_active
 
 let open_ok rt rng = channel_ok rt.plan rng
 

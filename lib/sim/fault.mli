@@ -16,8 +16,16 @@
       expectation — correlated loss that i.i.d. coin flips cannot model;
     - {e crash-stop / crash-recovery}: nodes crash at rate [crash_rate]
       per round (recovering at [recover_rate] if nonzero, with their
-      state intact), and a one-shot adversarial {!strike} can kill up to
-      [count] chosen nodes at a chosen round.
+      state intact), and an adversarial {!strike} can kill up to
+      [count] chosen nodes at a chosen round — either once, or
+      {e recurring} every [every] rounds, re-targeting each time it
+      fires (a [Frontier] strike re-reads the informed set at every
+      firing, so a recurring frontier strike is an adaptive adversary
+      chasing the rumor);
+    - a {e partition window} splits the node set in two at round
+      [split_at] and heals it at round [heal_at]: while the window is
+      open, no channel crosses the cut, modelling a transient network
+      split without mutating the overlay itself.
 
     The stateless sampling helpers ({!channel_ok}, {!delivery_ok}) see
     only the independent components and serve the simpler runners
@@ -37,9 +45,20 @@ type adversary =
   | Frontier  (** crash currently informed nodes — snipe the rumor *)
 
 type strike = {
-  at_round : int;  (** round at whose start the strike lands, >= 1 *)
-  count : int;  (** up to this many nodes are crashed *)
+  at_round : int;  (** round at whose start the strike first lands, >= 1 *)
+  count : int;  (** up to this many nodes are crashed per firing *)
+  every : int;
+      (** 0 = one-shot; [k > 0] re-fires the strike at [at_round],
+          [at_round + k], [at_round + 2k], ... with targets re-chosen at
+          each firing *)
   adversary : adversary;
+}
+
+type partition = {
+  split_at : int;  (** round at whose start the network splits, >= 1 *)
+  heal_at : int;  (** round at whose start the cut heals, > [split_at] *)
+  cut_fraction : float;
+      (** each node lands on the minority side with this probability *)
 }
 
 type t = {
@@ -50,7 +69,8 @@ type t = {
   burst : burst option;  (** Gilbert–Elliott bursty loss, if any *)
   crash_rate : float;  (** per-node per-round crash probability *)
   recover_rate : float;  (** per-crashed-node per-round recovery probability *)
-  strike : strike option;  (** one-shot adversarial kill, if any *)
+  strike : strike option;  (** adversarial kill schedule, if any *)
+  partition : partition option;  (** transient network split, if any *)
 }
 
 val none : t
@@ -69,9 +89,29 @@ val burst : loss:float -> burst_len:float -> burst
     < 1], or [loss > burst_len / (burst_len + 1)] (no transition
     probability can realise that combination). *)
 
-val strike : ?adversary:adversary -> at_round:int -> count:int -> unit -> strike
-(** Validated one-shot kill ([adversary] defaults to {!Random_nodes}).
-    @raise Invalid_argument if [at_round < 1] or [count < 0]. *)
+val strike :
+  ?adversary:adversary ->
+  ?every:int ->
+  at_round:int ->
+  count:int ->
+  unit ->
+  strike
+(** Validated kill schedule ([adversary] defaults to {!Random_nodes},
+    [every] to 0 = one-shot).
+    @raise Invalid_argument if [at_round < 1], [count < 0] or
+    [every < 0]. *)
+
+val strike_fires : strike -> round:int -> bool
+(** Whether the schedule lands at the start of [round]: true at
+    [at_round] and, when [every > 0], every [every] rounds thereafter. *)
+
+val partition :
+  ?fraction:float -> split_at:int -> heal_at:int -> unit -> partition
+(** Validated partition window ([fraction] defaults to 0.5: an even
+    split in expectation). Sides are sampled per node when the window
+    opens, so the cut is a random bisection, not a topological cut.
+    @raise Invalid_argument if [split_at < 1], [heal_at <= split_at] or
+    [fraction] is outside [\[0, 1\]]. *)
 
 val plan :
   ?call_failure:float ->
@@ -82,6 +122,7 @@ val plan :
   ?crash_rate:float ->
   ?recover_rate:float ->
   ?strike:strike ->
+  ?partition:partition ->
   unit ->
   t
 (** [plan ()] builds a full fault plan; every mode defaults to off.
@@ -124,8 +165,12 @@ val begin_round :
   informed:(int -> bool) ->
   unit
 (** Advance one round: step every node's burst chain, recover and crash
-    nodes at the plan's rates, and land the adversarial strike when
-    [round] matches. Draws nothing for modes the plan leaves off.
+    nodes at the plan's rates, land the adversarial strike when the
+    schedule fires ({!strike_fires}), and open/close the partition
+    window when [round] reaches [split_at]/[heal_at] (opening the
+    window draws exactly [capacity] Bernoulli side assignments — dead
+    nodes included — so the draw count never depends on run state).
+    Draws nothing for modes the plan leaves off.
     [on_recover] fires once per node the moment it comes back up — the
     engine uses it to model recovery amnesia (the recovered node
     re-enters the uninformed census instead of keeping stale state).
@@ -143,6 +188,16 @@ val bursting : runtime -> int -> bool
 
 val may_recover : runtime -> bool
 (** Whether crashed nodes can come back (plan has [recover_rate] > 0). *)
+
+val has_node_faults : t -> bool
+(** Whether the plan can crash nodes ([crash_rate] > 0 or a strike). *)
+
+val same_side : runtime -> int -> int -> bool
+(** [same_side rt u v] — [u] and [v] can currently communicate across
+    the partition: true whenever no window is open. Constant time. *)
+
+val partition_active : runtime -> bool
+(** Whether a partition window is currently open. *)
 
 val down_count : runtime -> int
 (** Number of currently crashed nodes. *)

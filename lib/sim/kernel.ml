@@ -53,7 +53,7 @@ type 'st tstate = {
 
 let run ?(fault = Stateless Fault.none) ?(collect_trace = false)
     ?(stop_when_complete = false) ?gate ?(forget_on_recover = false) ?reset
-    ?on_round_end ?skew ~rng ~topology ~protocol ~tables () =
+    ?on_round_end ?skew ?monitor ~rng ~topology ~protocol ~tables () =
   let open Topology in
   let open Protocol in
   let cap = topology.capacity in
@@ -83,6 +83,14 @@ let run ?(fault = Stateless Fault.none) ?(collect_trace = false)
   in
   let may_recover =
     match frt with Some rt -> Fault.may_recover rt | None -> false
+  in
+  (* Partition windows only exist under a [Full] runtime; the check is
+     two loads and a branch, and a plan without a partition never opens
+     the window, so the predicate is constant-true there. *)
+  let connected =
+    match frt with
+    | Some rt -> fun u w -> Fault.same_side rt u w
+    | None -> fun _ _ -> true
   in
   (* A [Stateless] plan samples exactly like a burst-free runtime: the
      burst check draws nothing and the loss draws coincide. *)
@@ -323,6 +331,19 @@ let run ?(fault = Stateless Fault.none) ?(collect_trace = false)
     !h + max_skew
   in
   let total_channels = ref 0 in
+  (* Invariant-monitor state: last round's per-table informed counts
+     (monotonicity) — allocated only when a monitor is installed, so
+     monitor-off runs stay allocation-free. *)
+  let prev_know =
+    match monitor with
+    | Some _ -> Array.map (fun tb -> tb.know) tbs
+    | None -> [||]
+  in
+  let may_shrink =
+    Fault.has_node_faults splan || forget_on_recover
+    || Option.is_some reset
+    || Option.is_some on_round_end
+  in
   let round = ref 0 in
   let stop = ref false in
   while (not !stop) && !round < horizon do
@@ -352,7 +373,12 @@ let run ?(fault = Stateless Fault.none) ?(collect_trace = false)
           let k = Selector.select selector ~rng ~node:u ~degree:d ~out:scratch in
           for i = 0 to k - 1 do
             let w = topology.neighbor u scratch.(i) in
-            if topology.alive w && active w && Fault.channel_ok splan rng
+            (* [connected] is checked before the channel draw: a call
+               blocked by a partition consumes no randomness, exactly
+               like a call to a dead node. *)
+            if
+              topology.alive w && active w && connected u w
+              && Fault.channel_ok splan rng
             then begin
               incr channels_now;
               for j = 0 to nt - 1 do
@@ -460,6 +486,69 @@ let run ?(fault = Stateless Fault.none) ?(collect_trace = false)
       if tb.completion = None && !live > 0 && tb.know = !live then
         tb.completion <- Some r
     done;
+    (* Runtime invariant monitor: re-derive every census quantity from
+       the bitsets and compare with the kernel's own counters. Runs in
+       both census modes (after [full_census] has refreshed them), so a
+       kernel that wrongly keeps the incremental census under churn is
+       caught here. Observation only: no randomness, no control flow. *)
+    (match monitor with
+    | None -> ()
+    | Some m ->
+        Invariant.tick m;
+        let live' = ref 0 in
+        for v = 0 to cap - 1 do
+          if topology.alive v && active v then incr live'
+        done;
+        if !live' <> !live then
+          Invariant.record m ~check:"census" ~round:r
+            ~detail:(Printf.sprintf "live: recount %d, kernel %d" !live' !live);
+        for j = 0 to nt - 1 do
+          let tb = tbs.(j) in
+          let know' = ref 0 and down_inf' = ref 0 in
+          for v = 0 to cap - 1 do
+            if Bitset.get tb.informed v && topology.alive v then
+              if active v then incr know' else incr down_inf'
+          done;
+          if !know' <> tb.know then
+            Invariant.record m ~check:"census" ~round:r
+              ~detail:
+                (Printf.sprintf "table %d informed: recount %d, kernel %d" j
+                   !know' tb.know);
+          if census_incremental && !down_inf' <> tb.down_informed then
+            Invariant.record m ~check:"census" ~round:r
+              ~detail:
+                (Printf.sprintf "table %d down-informed: recount %d, kernel %d"
+                   j !down_inf' tb.down_informed);
+          if tb.know > !live' then
+            Invariant.record m ~check:"conserve" ~round:r
+              ~detail:
+                (Printf.sprintf "table %d informed %d exceeds live %d" j
+                   tb.know !live');
+          if (not may_shrink) && tb.know < prev_know.(j) then
+            Invariant.record m ~check:"monotone" ~round:r
+              ~detail:
+                (Printf.sprintf "table %d informed fell %d -> %d" j
+                   prev_know.(j) tb.know);
+          prev_know.(j) <- tb.know;
+          if tb.pending_len <> 0 || tb.dup_len <> 0 then
+            Invariant.record m ~check:"drain" ~round:r
+              ~detail:
+                (Printf.sprintf
+                   "table %d staging not drained (%d pending, %d dups)" j
+                   tb.pending_len tb.dup_len)
+        done;
+        if !newly_total > !push_now + !pull_now then
+          Invariant.record m ~check:"conserve" ~round:r
+            ~detail:
+              (Printf.sprintf "%d newly informed from %d surviving deliveries"
+                 !newly_total (!push_now + !pull_now));
+        if !push_now > !channels_now * nt || !pull_now > !channels_now * nt
+        then
+          Invariant.record m ~check:"conserve" ~round:r
+            ~detail:
+              (Printf.sprintf
+                 "%d push + %d pull deliveries on %d channels x %d tables"
+                 !push_now !pull_now !channels_now nt));
     if all_quiet then stop := true;
     if stop_when_complete then begin
       let all = ref true in
@@ -534,11 +623,11 @@ type 'st epoch_plan = {
 
 let run_epochs ?(fault = Fault.none) ?(collect_trace = false)
     ?(forget_on_recover = false) ?reset ?on_round_end ?skew ?(max_epochs = 8)
-    ~rng ~topology ~protocol ~repair ~tables () =
+    ?monitor ~rng ~topology ~protocol ~repair ~tables () =
   if max_epochs < 0 then invalid_arg "Kernel.run_epochs: max_epochs < 0";
   let main =
     run ~fault:(Full fault) ~collect_trace ~forget_on_recover ?reset
-      ?on_round_end ?skew ~rng ~topology ~protocol ~tables ()
+      ?on_round_end ?skew ?monitor ~rng ~topology ~protocol ~tables ()
   in
   let cap = topology.Topology.capacity in
   let nt = Array.length tables in
@@ -606,9 +695,22 @@ let run_epochs ?(fault = Fault.none) ?(collect_trace = false)
       let epoch_fault = { fault with Fault.crash_rate = 0.; strike = None } in
       let r =
         run ~fault:(Full epoch_fault) ~forget_on_recover
-          ~stop_when_complete:true ~gate:plan.epoch_gate ~rng ~topology
-          ~protocol:plan.epoch_protocol ~tables:especs ()
+          ~stop_when_complete:true ~gate:plan.epoch_gate ?monitor ~rng
+          ~topology ~protocol:plan.epoch_protocol ~tables:especs ()
       in
+      (match monitor with
+      | None -> ()
+      | Some m ->
+          if !epoch > max_epochs then
+            Invariant.record m ~check:"budget" ~round:r.rounds
+              ~detail:
+                (Printf.sprintf "epoch %d exceeds max_epochs %d" !epoch
+                   max_epochs);
+          if r.rounds > plan.epoch_protocol.Protocol.horizon then
+            Invariant.record m ~check:"budget" ~round:r.rounds
+              ~detail:
+                (Printf.sprintf "epoch %d ran %d rounds past horizon %d"
+                   !epoch r.rounds plan.epoch_protocol.Protocol.horizon));
       (* The epoch restarted from every knower, so its final flags are
          the current truth (amnesia included): replace, don't merge. *)
       let epoch_push = ref 0 and epoch_pull = ref 0 in
@@ -668,8 +770,8 @@ type async_result = {
 }
 
 let run_async ?(fault = Fault.none) ?(stop_when_complete = false)
-    ?(collect_trace = false) ?on_round_end ?reset ~rng ~graph ~protocol
-    ~sources () =
+    ?(collect_trace = false) ?on_round_end ?reset ?monitor ~rng ~graph
+    ~protocol ~sources () =
   let open Protocol in
   let n = Graph.n graph in
   let informed = Bitset.create n in
@@ -723,8 +825,12 @@ let run_async ?(fault = Fault.none) ?(stop_when_complete = false)
      it draws nothing, and without hooks or tracing none of it runs. *)
   let trace = if collect_trace then Some (Trace.create ()) else None in
   let unit_boundaries =
-    collect_trace || on_round_end <> None || reset <> None
+    collect_trace
+    || Option.is_some on_round_end
+    || Option.is_some reset
+    || Option.is_some monitor
   in
+  let prev_informed = ref !informed_count in
   let unit_done = ref 0 in
   let unit_newly = ref 0 in
   let unit_push = ref 0 and unit_pull = ref 0 and unit_channels = ref 0 in
@@ -747,6 +853,24 @@ let run_async ?(fault = Fault.none) ?(stop_when_complete = false)
     | None -> ()
   in
   let flush_unit u =
+    (* Monitor checks run before the churn hooks so they observe the
+       state the protocol produced, not the harness's mutations. *)
+    (match monitor with
+    | None -> ()
+    | Some m ->
+        Invariant.tick m;
+        let c = Bitset.cardinal informed in
+        if c <> !informed_count then
+          Invariant.record m ~check:"census" ~round:u
+            ~detail:
+              (Printf.sprintf "informed: recount %d, kernel %d" c
+                 !informed_count);
+        if Option.is_none reset && !informed_count < !prev_informed then
+          Invariant.record m ~check:"monotone" ~round:u
+            ~detail:
+              (Printf.sprintf "informed fell %d -> %d" !prev_informed
+                 !informed_count);
+        prev_informed := !informed_count);
     flush_row u;
     (match on_round_end with Some f -> f u | None -> ());
     match reset with

@@ -34,14 +34,18 @@
     Simulation results are pinned by golden tests, so the kernel draws
     from [rng] in a fixed, documented order. Synchronous rounds draw:
     fault-runtime tick ({!Full} only: burst chains, recoveries, crashes,
-    strike) — then per live initiator in id order: neighbour selection,
-    then per opened channel: channel establishment, then per table:
-    push-delivery loss for deciders, pull-delivery loss for answering
-    partners. Hooks, census maintenance and tracing draw nothing; a
-    plan mode that is off draws nothing; a {!Stateless} plan samples
-    exactly like a burst-free {!Full} runtime. Asynchronous runs draw:
-    inter-activation exponential, activated node id, then selection and
-    fault sampling as above.
+    strike when the schedule fires, partition side assignments when the
+    window opens) — then per live initiator in id order: neighbour
+    selection, then per opened channel: channel establishment, then per
+    table: push-delivery loss for deciders, pull-delivery loss for
+    answering partners. A call blocked by an open partition window is
+    skipped {e before} the channel-establishment draw, exactly like a
+    call to a dead node. Hooks, census maintenance, tracing and the
+    invariant monitor draw nothing; a plan mode that is off draws
+    nothing; a {!Stateless} plan samples exactly like a burst-free
+    {!Full} runtime. Asynchronous runs draw: inter-activation
+    exponential, activated node id, then selection and fault sampling
+    as above.
 
     {2 Census invariant}
 
@@ -52,7 +56,10 @@
     installed (churn may mutate liveness arbitrarily) it falls back to
     a full per-round census. Both paths draw no randomness and yield
     identical results; the incremental path also serves the final
-    counts without an O(capacity) rescan.
+    counts without an O(capacity) rescan. Passing [?monitor] makes this
+    contract (and the accounting ones) executable: the kernel recounts
+    everything from the bitsets at each round boundary and records any
+    disagreement — see {!Invariant}.
 
     {2 Stopping rule}
 
@@ -130,6 +137,7 @@ val run :
   ?reset:(unit -> int list) ->
   ?on_round_end:(int -> unit) ->
   ?skew:(int -> int) ->
+  ?monitor:Invariant.t ->
   rng:Rumor_rng.Rng.t ->
   topology:Topology.t ->
   protocol:'st Protocol.t ->
@@ -143,7 +151,11 @@ val run :
     [forget_on_recover], [reset] and [on_round_end] behave as
     documented on {!Engine.run}; they apply uniformly to every table.
     [reset] ids and recovery amnesia clear {e every} table's flag for
-    the node (a wiped node lost all rumors).
+    the node (a wiped node lost all rumors). [monitor] installs the
+    runtime invariant monitor ({!Invariant}): every check is recomputed
+    from scratch at each round boundary and compared against the
+    kernel's incremental answers; it draws nothing and never changes
+    the run.
 
     Sources must be alive and in range — drivers validate and report
     their own error messages; the kernel itself checks only that
@@ -187,6 +199,7 @@ val run_epochs :
   ?on_round_end:(int -> unit) ->
   ?skew:(int -> int) ->
   ?max_epochs:int ->
+  ?monitor:Invariant.t ->
   rng:Rumor_rng.Rng.t ->
   topology:Topology.t ->
   protocol:'st Protocol.t ->
@@ -227,6 +240,7 @@ val run_async :
   ?collect_trace:bool ->
   ?on_round_end:(int -> unit) ->
   ?reset:(unit -> int list) ->
+  ?monitor:Invariant.t ->
   rng:Rumor_rng.Rng.t ->
   graph:Rumor_graph.Graph.t ->
   protocol:'st Protocol.t ->
@@ -244,6 +258,8 @@ val run_async :
     sampled statelessly as in {!Stateless}. [on_round_end] and [reset]
     fire at each integer time-unit boundary the run crosses (the
     asynchronous analogue of a round end); ids returned by [reset]
-    restart uninformed. Without hooks or tracing the activation loop is
-    unchanged and draws identically to previous releases. Sources are
-    not validated here — drivers do that. *)
+    restart uninformed. [monitor] checks the census and monotonicity
+    invariants at those same boundaries. Without hooks, tracing or a
+    monitor the activation loop is unchanged and draws identically to
+    previous releases. Sources are not validated here — drivers do
+    that. *)

@@ -48,6 +48,7 @@ val run :
   ?collect_trace:bool ->
   ?on_round_end:(int -> unit) ->
   ?reset:(unit -> int list) ->
+  ?monitor:Invariant.t ->
   rng:Rumor_rng.Rng.t ->
   topology:Topology.t ->
   protocol:'st Protocol.t ->
@@ -75,6 +76,7 @@ val run_epochs :
   ?on_round_end:(int -> unit) ->
   ?reset:(unit -> int list) ->
   ?max_epochs:int ->
+  ?monitor:Invariant.t ->
   rng:Rumor_rng.Rng.t ->
   topology:Topology.t ->
   protocol:'st Protocol.t ->
