@@ -59,7 +59,10 @@ let d_arg =
 let topology_arg =
   let doc =
     "Topology: regular (random d-regular), hypercube, torus, complete, \
-     gnp, product-k5 (random regular times K5)."
+     gnp, product-k5 (random regular times K5). broadcast also accepts \
+     the seed-derived implicit views implicit-regular, implicit-hypercube \
+     and implicit-chords, which never build the graph and scale to \
+     n = 10,000,000+."
   in
   Arg.(value & opt string "regular" & info [ "topology" ] ~docv:"KIND" ~doc)
 
@@ -148,21 +151,47 @@ let generate_cmd =
 let broadcast seed n d topology protocol alpha fanout loss trace graph_in json
     trace_out =
   let rng = Rng.create seed in
-  let g =
-    match graph_in with
-    | Some path -> Rumor_graph.Io.of_file path
-    | None -> Rumor_cli.Scenario.make_graph ~rng ~topology ~n ~d
-  in
-  let n_real = Graph.n g in
-  let p =
-    Rumor_cli.Scenario.make_protocol ~protocol ~n:n_real ~d ~alpha ~fanout ()
-  in
   let fault = Fault.make ~link_loss:loss () in
   let collect_trace = trace || trace_out <> None in
-  let res, span =
-    Obs_metrics.timed (fun () ->
-        Run.once ~fault ~collect_trace ~rng ~graph:g ~protocol:p
-          ~source:(Run.random_source rng g) ())
+  let n_real, p, (res, span) =
+    if Rumor_cli.Scenario.is_implicit topology then begin
+      if graph_in <> None then begin
+        prerr_endline
+          "rumor: --graph cannot be combined with an implicit --topology";
+        exit 2
+      end;
+      (* No graph is materialised: the engine walks the seed-derived
+         neighbour functions, so n = 10^7+ works in O(n) state. *)
+      let top = Rumor_cli.Scenario.make_topology ~rng ~topology ~n ~d in
+      let n_real = top.Rumor_sim.Topology.capacity in
+      let p =
+        Rumor_cli.Scenario.make_protocol ~protocol ~n:n_real ~d ~alpha
+          ~fanout ()
+      in
+      let source = Rng.int rng n_real in
+      ( n_real,
+        p,
+        Obs_metrics.timed (fun () ->
+            Engine.run ~fault ~collect_trace ~rng ~topology:top ~protocol:p
+              ~sources:[ source ] ()) )
+    end
+    else begin
+      let g =
+        match graph_in with
+        | Some path -> Rumor_graph.Io.of_file path
+        | None -> Rumor_cli.Scenario.make_graph ~rng ~topology ~n ~d
+      in
+      let n_real = Graph.n g in
+      let p =
+        Rumor_cli.Scenario.make_protocol ~protocol ~n:n_real ~d ~alpha
+          ~fanout ()
+      in
+      ( n_real,
+        p,
+        Obs_metrics.timed (fun () ->
+            Run.once ~fault ~collect_trace ~rng ~graph:g ~protocol:p
+              ~source:(Run.random_source rng g) ()) )
+    end
   in
   (match (res.Engine.trace, trace_out) with
   | Some t, Some path ->

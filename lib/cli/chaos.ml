@@ -80,6 +80,44 @@ let failed o = o.violation_count > 0 || o.error <> None
 
 let run_raw ?monitor (s : Scenario.t) =
   let rng = Rng.create s.Scenario.seed in
+  if Scenario.is_implicit s.Scenario.topology then begin
+    (* Implicit views run straight on the kernel: no graph, no
+       overlay. Churn is impossible here (parse rejects it), every
+       other fault axis behaves exactly as on a materialised graph. *)
+    let topology =
+      Scenario.make_topology ~rng ~topology:s.Scenario.topology
+        ~n:s.Scenario.n ~d:s.Scenario.d
+    in
+    let n_real = topology.Topology.capacity in
+    let n_estimate =
+      int_of_float (ceil (s.Scenario.n_error *. float_of_int n_real))
+    in
+    let protocol =
+      Scenario.make_protocol ~n_estimate ~protocol:s.Scenario.protocol
+        ~n:n_real ~d:s.Scenario.d ~alpha:s.Scenario.alpha
+        ~fanout:s.Scenario.fanout ()
+    in
+    let fault = Scenario.fault_plan s in
+    let stop =
+      s.Scenario.protocol <> "bef" && s.Scenario.protocol <> "bef-seq"
+    in
+    let source = Rng.int rng n_real in
+    match
+      if s.Scenario.max_epochs > 0 then
+        Some
+          (Repair.config ~timeout:s.Scenario.repair_timeout
+             ~backoff_cap:(max s.Scenario.repair_backoff 1)
+             ~max_epochs:s.Scenario.max_epochs ~n:n_real ())
+      else None
+    with
+    | Some config ->
+        Repair.self_heal ~fault ~collect_trace:true ?monitor ~config ~rng
+          ~topology ~protocol ~sources:[ source ] ()
+    | None ->
+        Engine.run ~fault ~collect_trace:true ~stop_when_complete:stop
+          ?monitor ~rng ~topology ~protocol ~sources:[ source ] ()
+  end
+  else
   let g =
     Scenario.make_graph ~rng ~topology:s.Scenario.topology ~n:s.Scenario.n
       ~d:s.Scenario.d
@@ -176,7 +214,14 @@ let sample rng =
   let pick a = a.(Rng.int rng (Array.length a)) in
   let n = pick [| 96; 128; 192; 256; 384; 512 |] in
   let d = pick [| 4; 6; 8 |] in
-  let topology = pick [| "regular"; "regular"; "regular"; "hypercube"; "complete" |] in
+  let topology =
+    pick
+      [|
+        "regular"; "regular"; "regular"; "hypercube"; "complete";
+        "implicit-regular"; "implicit-regular"; "implicit-hypercube";
+        "implicit-chords";
+      |]
+  in
   let protocol =
     pick [| "bef"; "bef"; "bef-seq"; "push"; "pull"; "push-pull"; "quasirandom" |]
   in
@@ -203,8 +248,15 @@ let sample rng =
     if partition_round > 0 then partition_round + 2 + Rng.int rng 6 else 0
   in
   let partition_fraction = pick [| 0.25; 0.5 |] in
+  (* Churn rewires a materialised overlay; implicit views have no
+     overlay to rewire, and Scenario.parse rejects the combination.
+     The draws still happen so the stream position is
+     topology-independent. *)
+  let implicit = Scenario.is_implicit topology in
   let join_prob = pick [| 0.; 0.; 0.05; 0.15 |] in
+  let join_prob = if implicit then 0. else join_prob in
   let leave_prob = pick [| 0.; 0.; 0.05; 0.15 |] in
+  let leave_prob = if implicit then 0. else leave_prob in
   let n_error = pick [| 1.; 1.; 0.5; 4. |] in
   let max_epochs = pick [| 0; 0; 0; 4 |] in
   {

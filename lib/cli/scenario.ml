@@ -75,7 +75,20 @@ let default =
     domains = 0;
   }
 
-let topologies = [ "regular"; "hypercube"; "torus"; "complete"; "gnp"; "product-k5" ]
+let topologies =
+  [
+    "regular"; "hypercube"; "torus"; "complete"; "gnp"; "product-k5";
+    "implicit-regular"; "implicit-hypercube"; "implicit-chords";
+  ]
+
+let is_implicit topology =
+  String.length topology >= 9 && String.sub topology 0 9 = "implicit-"
+
+(* Materialising a graph above this size means hundreds of MB of stub
+   arrays and CSR before the run even starts; beyond it only the
+   implicit views are viable. 2^22 nodes at d = 8 is already a ~260 MB
+   build. *)
+let materialise_cap = 1 lsl 22
 let protocols = [ "bef"; "bef-seq"; "push"; "pull"; "push-pull"; "quasirandom" ]
 let adversaries = [ "none"; "random"; "degree"; "frontier" ]
 
@@ -100,6 +113,32 @@ let parse text =
             (Printf.sprintf
                "heal_round %d must be greater than partition_round %d"
                acc.heal_round acc.partition_round)
+        else if
+          is_implicit acc.topology
+          && (acc.join_prob > 0. || acc.leave_prob > 0.)
+        then
+          Error
+            (Printf.sprintf
+               "churn (join_prob/leave_prob) needs a materialised overlay; \
+                topology %s computes its edges implicitly"
+               acc.topology)
+        else if
+          (acc.topology = "implicit-regular"
+          || (acc.topology = "implicit-chords" && acc.d > 2))
+          && acc.n land 1 = 1
+        then
+          Error
+            (Printf.sprintf
+               "topology %s pairs nodes into perfect matchings and needs an \
+                even n (got %d)"
+               acc.topology acc.n)
+        else if not (is_implicit acc.topology) && acc.n > materialise_cap then
+          Error
+            (Printf.sprintf
+               "n = %d exceeds the materialised-graph cap of %d nodes; use \
+                implicit-regular, implicit-hypercube or implicit-chords for \
+                runs at this scale"
+               acc.n materialise_cap)
         else Ok acc
     | raw :: rest -> begin
         let line = i + 1 in
@@ -269,6 +308,19 @@ let parse_file path =
           parse (really_input_string ic len))
 
 let make_graph ~rng ~topology ~n ~d =
+  if is_implicit topology then
+    failwith
+      (Printf.sprintf
+         "topology %S is implicit and is never materialised; run it directly \
+          (scenario key [topology = %s] or rumor broadcast --topology %s)"
+         topology topology topology);
+  if n > materialise_cap then
+    failwith
+      (Printf.sprintf
+         "n = %d exceeds the materialised-graph cap of %d nodes; use an \
+          implicit topology (implicit-regular, implicit-hypercube, \
+          implicit-chords) for runs at this scale"
+         n materialise_cap);
   match topology with
   | "regular" ->
       Rumor_gen.Regular.sample_connected ~rng ~n ~d Rumor_gen.Regular.Pairing
@@ -286,6 +338,20 @@ let make_graph ~rng ~topology ~n ~d =
       in
       Rumor_gen.Product.with_clique base ~k:5
   | other -> failwith (Printf.sprintf "unknown topology %S" other)
+
+(* One 62-bit seed per implicit view, drawn from the replication
+   stream, so every repetition sees a fresh random graph exactly as
+   [make_graph] samples a fresh one. *)
+let draw_seed rng = Int64.to_int (Rng.bits64 rng) land max_int
+
+let make_topology ~rng ~topology ~n ~d =
+  match topology with
+  | "implicit-regular" ->
+      Rumor_sim.Topology.implicit_regular ~seed:(draw_seed rng) ~n ~d
+  | "implicit-hypercube" -> Rumor_sim.Topology.implicit_hypercube ~n
+  | "implicit-chords" ->
+      Rumor_sim.Topology.implicit_chords ~seed:(draw_seed rng) ~n ~d
+  | other -> Rumor_sim.Topology.of_graph (make_graph ~rng ~topology:other ~n ~d)
 
 let make_protocol ?n_estimate ~protocol ~n ~d ~alpha ~fanout () =
   let est = match n_estimate with Some e -> max 4 e | None -> n in
@@ -363,6 +429,35 @@ let run scenario =
        but every repetition writes the same name. *)
     Experiment.replicate_parallel ~domains ~seed:scenario.seed
       ~reps:scenario.reps (fun rng ->
+        if is_implicit scenario.topology then begin
+          (* No graph is ever built: the kernel walks seed-derived
+             neighbour functions, so this path scales to n = 10^7+.
+             Churn is rejected at parse time (implicit views have a
+             fixed id space); every other fault key composes, since
+             faults mutate liveness, never edges. *)
+          let topology =
+            make_topology ~rng ~topology:scenario.topology ~n:scenario.n
+              ~d:scenario.d
+          in
+          let n_real = topology.Rumor_sim.Topology.capacity in
+          let n_estimate =
+            int_of_float (ceil (scenario.n_error *. float_of_int n_real))
+          in
+          let p =
+            make_protocol ~n_estimate ~protocol:scenario.protocol ~n:n_real
+              ~d:scenario.d ~alpha:scenario.alpha ~fanout:scenario.fanout ()
+          in
+          protocol_name := p.Rumor_sim.Protocol.name;
+          let source = Rng.int rng n_real in
+          match repair_config with
+          | Some config ->
+              Repair.self_heal ~fault ~config ~rng ~topology ~protocol:p
+                ~sources:[ source ] ()
+          | None ->
+              Engine.run ~fault ~stop_when_complete:stop ~rng ~topology
+                ~protocol:p ~sources:[ source ] ()
+        end
+        else
         let g =
           make_graph ~rng ~topology:scenario.topology ~n:scenario.n
             ~d:scenario.d

@@ -9,6 +9,7 @@
     n        = 16384
     d        = 8
     topology = regular        # regular|hypercube|torus|complete|gnp|product-k5
+                              # |implicit-regular|implicit-hypercube|implicit-chords
     protocol = bef            # bef|bef-seq|push|pull|push-pull|quasirandom
     alpha    = 1.0
     fanout   = 4
@@ -42,6 +43,17 @@
     and [repair_backoff] (randomized-backoff window cap). With repair
     on, runs use recovery amnesia (crash-recovered nodes restart
     uninformed) and the report gains epoch/overhead summaries.
+
+    The [implicit-*] topologies ({!Rumor_sim.Topology.implicit_regular}
+    and friends) compute neighbours on the fly from a per-repetition
+    seed instead of materialising a graph, lifting the practical scale
+    ceiling from [n ~ 2^20] to [n = 10^7..10^8]. They accept every
+    fault key (faults mutate liveness, never edges) and self-healing,
+    but reject churn at parse time — churn rewires an overlay, which an
+    implicit view has none of. Materialised topologies are capped at
+    {!materialise_cap} nodes; beyond that, parsing (and {!make_graph})
+    direct you to the implicit alternatives rather than letting the
+    build die mid-allocation.
 
     Unknown keys, duplicate keys, malformed values and out-of-range
     parameters are rejected with a message carrying the offending line
@@ -95,11 +107,33 @@ val parse : string -> (t, string) result
 val parse_file : string -> (t, string) result
 (** Read and {!parse} a file; IO failures map to [Error]. *)
 
+val is_implicit : string -> bool
+(** Whether a topology name denotes a seed-derived implicit view
+    (prefix ["implicit-"]) rather than a materialised graph. *)
+
+val materialise_cap : int
+(** Maximum [n] for which {!make_graph} will materialise a graph
+    ([2^22]); larger runs must use an implicit topology. *)
+
 val make_graph :
   rng:Rumor_rng.Rng.t -> topology:string -> n:int -> d:int ->
   Rumor_graph.Graph.t
 (** Topology factory (shared with the CLI).
-    @raise Failure on an unknown topology name. *)
+    @raise Failure on an unknown topology name, on an implicit
+    topology (which is never materialised — use {!make_topology}), or
+    when [n] exceeds {!materialise_cap}. *)
+
+val make_topology :
+  rng:Rumor_rng.Rng.t -> topology:string -> n:int -> d:int ->
+  Rumor_sim.Topology.t
+(** Like {!make_graph} but returns the kernel's topology view.
+    Implicit names build seed-derived views (drawing one seed from
+    [rng] for the randomised ones); materialised names delegate to
+    {!make_graph} and wrap the result. The view's [capacity] may
+    exceed [n] (implicit-hypercube rounds up to a power of two).
+    @raise Failure as {!make_graph}.
+    @raise Invalid_argument on invalid implicit parameters (odd [n]
+    for implicit-regular, [d < 2] for implicit-chords, ...). *)
 
 val make_protocol :
   ?n_estimate:int ->

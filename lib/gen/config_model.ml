@@ -42,7 +42,9 @@ let erase g =
   (* Collapse parallel edges with a per-vertex sorted scan. *)
   for v = 0 to n - 1 do
     let nbrs = Graph.neighbors g v in
-    Array.sort compare nbrs;
+    (* Monomorphic comparison: the polymorphic [compare] walks the
+       generic structural path on every element pair. *)
+    Array.sort Int.compare nbrs;
     let prev = ref (-1) in
     Array.iter
       (fun w ->

@@ -258,18 +258,18 @@ let run ?(fault = Stateless Fault.none) ?(collect_trace = false)
         && not (quiet_at tb r w)
       then false
       else begin
-        let v = ref 0 and quiet = ref true in
-        while !quiet && !v < cap do
+        (* Word-level frontier walk: only informed nodes can be
+           talkative, so scan the informed set (64 ids per load)
+           instead of probing every id. Ascending order, so the witness
+           found is the same node the per-id scan would pick. *)
+        let v = ref (Bitset.next_set tb.informed 0) and quiet = ref true in
+        while !quiet && !v >= 0 do
           let u = !v in
-          if
-            topology.alive u && active u
-            && Bitset.get tb.informed u
-            && not (quiet_at tb r u)
-          then begin
+          if topology.alive u && active u && not (quiet_at tb r u) then begin
             quiet := false;
             tb.witness <- u
           end;
-          incr v
+          v := Bitset.next_set tb.informed (u + 1)
         done;
         !quiet
       end
@@ -505,10 +505,9 @@ let run ?(fault = Stateless Fault.none) ?(collect_trace = false)
         for j = 0 to nt - 1 do
           let tb = tbs.(j) in
           let know' = ref 0 and down_inf' = ref 0 in
-          for v = 0 to cap - 1 do
-            if Bitset.get tb.informed v && topology.alive v then
-              if active v then incr know' else incr down_inf'
-          done;
+          Bitset.iter_set tb.informed (fun v ->
+              if topology.alive v then
+                if active v then incr know' else incr down_inf');
           if !know' <> tb.know then
             Invariant.record m ~check:"census" ~round:r
               ~detail:

@@ -1,10 +1,38 @@
 (** The simulator's view of a network.
 
     A topology is a record of accessors rather than a concrete graph so
-    that the same kernel drives static CSR graphs ({!of_graph}) and the
+    that the same kernel drives static CSR graphs ({!of_graph}), the
     mutable peer-to-peer overlays of [Rumor_p2p] (which change between
-    rounds under churn). Node identifiers are [0 .. capacity-1]; dead
-    identifiers (departed peers) are skipped via [alive]. *)
+    rounds under churn), and the {e implicit} seed-derived views below
+    (which never materialise an edge list at all). Node identifiers are
+    [0 .. capacity-1]; dead identifiers (departed peers) are skipped
+    via [alive].
+
+    {2 The implicit-topology contract}
+
+    {!implicit_regular}, {!implicit_hypercube} and {!implicit_chords}
+    compute [degree]/[neighbor] on the fly from a seed in O(1)-ish time
+    and O(d) memory, lifting the scale ceiling from the
+    configuration-model's n = 2^20 to n = 10^7..10^8. They guarantee:
+
+    - {b determinism}: the seed fully determines the neighbour
+      function; two views with the same parameters are the same graph,
+      on any machine;
+    - {b symmetry}: [w] appears in [v]'s neighbour list exactly as many
+      times as [v] appears in [w]'s (edges are unions of seed-keyed
+      perfect matchings and fixed lattice edges, never one-sided
+      hashes);
+    - {b no self-loops}: a matching pairs distinct positions, so
+      [neighbor v i <> v] always;
+    - {b liveness is orthogonal}: churn, crashes and partitions mutate
+      [alive]/fault state, never the edge set — the kernel already
+      checks [alive u && alive w] before a call, so the implicit views
+      compose with the whole fault layer unchanged.
+
+    Random-regular and chord views may contain parallel edges (two
+    matchings can pair the same nodes), exactly like the paper's
+    configuration-model multigraphs before erasure; at d ≪ n their
+    expected number is O(d²). *)
 
 type t = {
   capacity : int;  (** exclusive upper bound on node ids *)
@@ -25,3 +53,41 @@ val alive_count : t -> int
     otherwise by scanning [alive] over the id space. The kernel seeds
     its incrementally maintained census from this, so broadcast results
     report live counts without any per-run O(capacity) rescan. *)
+
+val implicit_regular : seed:int -> n:int -> d:int -> t
+(** [implicit_regular ~seed ~n ~d] is a random [d]-regular multigraph
+    on [n] nodes: the union of [d] seed-keyed perfect matchings, each a
+    Feistel permutation of [0, n) pairing position [p] with
+    [p lxor 1]. Every node has degree exactly [d]; [neighbor v i] is
+    [v]'s partner in matching [i], costing one Feistel encryption plus
+    one decryption (no allocation, no materialised state beyond the [d]
+    keys). Connected with high probability for [d >= 3], as for
+    configuration-model regular graphs.
+    @raise Invalid_argument if [n < 2], [n] is odd, or [d < 1]. *)
+
+val implicit_hypercube : n:int -> t
+(** [implicit_hypercube ~n] is the [k]-dimensional hypercube with
+    [k = ceil(log2 n)] (capacity [2^k], every node degree [k]).
+    Neighbours are listed in ascending id order — the same order
+    [Rumor_gen.Classic.hypercube]'s CSR produces — so a broadcast over
+    this view consumes randomness identically to one over the
+    materialised cube and yields bit-identical results.
+    @raise Invalid_argument if [n < 2] or [n > 2^25]. *)
+
+val implicit_chords : seed:int -> n:int -> d:int -> t
+(** [implicit_chords ~seed ~n ~d] is the [n]-cycle ([neighbor v 0] the
+    predecessor, [neighbor v 1] the successor) plus [d - 2] seed-keyed
+    chord matchings — a small-world ring in the spirit of the paper's
+    peer-to-peer overlays, with guaranteed connectivity from the ring
+    and random long-range chords for O(log n) broadcast.
+    @raise Invalid_argument if [n < 3], [d < 2], or [d > 2] with [n]
+    odd. *)
+
+val to_graph : t -> Rumor_graph.Graph.t
+(** Materialise a {e symmetric} topology view as a CSR graph (each
+    undirected edge kept once from its smaller endpoint, self-loops
+    dropped, dead nodes isolated). Intended for differential tests and
+    small-n inspection — it is exactly the O(capacity · d) cost the
+    implicit views exist to avoid, so don't call it at scale. The CSR
+    neighbour {e order} generally differs from the view's; compare
+    adjacency multisets, not sequences. *)
