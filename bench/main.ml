@@ -1974,28 +1974,42 @@ let () =
   Printf.printf "rumor experiment harness (%s mode, %d repetitions, %d domains)\n"
     (if !quick then "quick" else "full")
     (reps ()) (domains ());
+  (* The whole run is interruptible: SIGINT/SIGTERM finish the
+     repetition in flight, skip the remaining experiments, and the
+     partial document below is flushed with [truncated: true] so a
+     half-record is never mistaken for a full one. *)
   let records =
-    List.map
-      (fun (id, f) ->
-        current_points := [];
-        current_scalars := [];
-        current_title := "";
-        let (), span = Metrics.timed f in
-        let span_fields =
-          match Metrics.span_to_json span with Json.Obj fs -> fs | _ -> []
-        in
-        let data =
-          (match !current_points with
-          | [] -> []
-          | pts -> [ ("points", Json.List (List.rev pts)) ])
-          @ List.rev !current_scalars
-        in
-        Json.Obj
-          (("id", Json.String id)
-           :: ("title", Json.String !current_title)
-           :: span_fields
-          @ [ ("data", Json.Obj data) ]))
-      selected
+    Experiment.with_interrupt_signals (fun () ->
+        List.filter_map
+          (fun (id, f) ->
+            if Experiment.interrupted () then begin
+              Printf.printf "  %s skipped (interrupted)\n%!" id;
+              None
+            end
+            else begin
+              current_points := [];
+              current_scalars := [];
+              current_title := "";
+              let (), span = Metrics.timed f in
+              let span_fields =
+                match Metrics.span_to_json span with
+                | Json.Obj fs -> fs
+                | _ -> []
+              in
+              let data =
+                (match !current_points with
+                | [] -> []
+                | pts -> [ ("points", Json.List (List.rev pts)) ])
+                @ List.rev !current_scalars
+              in
+              Some
+                (Json.Obj
+                   (("id", Json.String id)
+                    :: ("title", Json.String !current_title)
+                    :: span_fields
+                   @ [ ("data", Json.Obj data) ]))
+            end)
+          selected)
   in
   match !json_path with
   | None -> ()
@@ -2014,11 +2028,13 @@ let () =
             ("quick", Json.Bool !quick);
             ("reps", Json.Int (reps ()));
             ("domains", Json.Int (domains ()));
+            ("truncated", Json.Bool (Experiment.interrupted ()));
             ("experiments", Json.List records);
           ]
       in
       let oc = open_out path in
       Json.to_channel ~minify:false oc top;
       close_out oc;
-      Printf.printf "\nwrote %s (%d experiment records)\n" path
+      Printf.printf "\nwrote %s (%d experiment records%s)\n" path
         (List.length records)
+        (if Experiment.interrupted () then ", truncated" else "")

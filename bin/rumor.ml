@@ -11,6 +11,8 @@
      chaos       seeded soak over random fault configs, invariants on
      replay      re-run a chaos repro artifact and diff its digest
      bench-check validate a BENCH_*.json telemetry file
+     serve       gossip-session service over supervised worker domains
+     load        fault-injecting load generator for a serve endpoint
 
    broadcast, multi, async, sweep and robustness take --json to emit one
    structured JSON document on stdout instead of the human tables;
@@ -42,6 +44,11 @@ module Experiment = Rumor_stats.Experiment
 module Json = Rumor_obs.Json
 module Obs_metrics = Rumor_obs.Metrics
 module Encode = Rumor_obs.Encode
+module Latency = Rumor_obs.Latency
+module Session = Rumor_serve.Session
+module Service = Rumor_serve.Service
+module Server = Rumor_serve.Server
+module Load = Rumor_serve.Load
 
 open Cmdliner
 
@@ -1528,6 +1535,386 @@ let bench_check_cmd =
   in
   Cmd.v info Term.(const bench_check $ bench_file_arg)
 
+(* --- serve: the gossip service frontend --- *)
+
+let serve socket workers queue retry_budget backoff_base_ms backoff_cap_ms
+    deadline_factor round_budget_us heartbeat_timeout max_restarts
+    restart_window drain_timeout quiet =
+  let workers =
+    if workers = 0 then Experiment.default_domains () else workers
+  in
+  match
+    Service.config ~workers ~queue_capacity:queue ~retry_budget
+      ~retry_backoff:
+        (Rumor_core.Repair.backoff ~base:backoff_base_ms ~cap:backoff_cap_ms ())
+      ~deadline_factor ~round_budget_us ~heartbeat_timeout_s:heartbeat_timeout
+      ~max_restarts ~restart_window_s:restart_window ()
+  with
+  | exception Invalid_argument m ->
+      prerr_endline ("rumor serve: " ^ m);
+      2
+  | config ->
+      let transport =
+        match socket with
+        | Some path -> Server.Unix_socket path
+        | None -> Server.Stdio
+      in
+      Server.run ~config ~drain_timeout_s:drain_timeout ~quiet transport
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Listen on a Unix domain socket instead of speaking NDJSON on \
+           stdin/stdout. A stale socket file is replaced.")
+
+let serve_workers_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "workers" ] ~docv:"W"
+        ~doc:"Worker domains (0 = auto: recommended domain count capped at 8).")
+
+let serve_queue_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "queue" ] ~docv:"N"
+        ~doc:
+          "Admission queue capacity. A full queue rejects submissions with a \
+           retry_after_ms hint instead of buffering without bound.")
+
+let retry_budget_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "retry-budget" ] ~docv:"R"
+        ~doc:"Deadline/incomplete re-runs allowed per session.")
+
+let backoff_base_arg =
+  Arg.(
+    value & opt int 25
+    & info [ "backoff-base-ms" ] ~docv:"MS"
+        ~doc:"Initial retry backoff window (randomized exponential).")
+
+let backoff_cap_arg =
+  Arg.(
+    value & opt int 400
+    & info [ "backoff-cap-ms" ] ~docv:"MS" ~doc:"Retry backoff window ceiling.")
+
+let deadline_factor_arg =
+  Arg.(
+    value & opt float 6.
+    & info [ "deadline-factor" ] ~docv:"C"
+        ~doc:
+          "Per-attempt wall deadline = C * ceil(log2 n) rounds at the \
+           per-round budget — the paper's O(log n) bound as an SLO.")
+
+let round_budget_arg =
+  Arg.(
+    value & opt float 2000.
+    & info [ "round-budget-us" ] ~docv:"US"
+        ~doc:"Declared wall budget per simulated round, microseconds.")
+
+let heartbeat_arg =
+  Arg.(
+    value & opt float 0.25
+    & info [ "heartbeat-timeout" ] ~docv:"S"
+        ~doc:
+          "Seconds without a heartbeat after which a busy worker is declared \
+           wedged and deposed.")
+
+let max_restarts_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "max-restarts" ] ~docv:"K"
+        ~doc:
+          "Worker restarts allowed inside the restart window before the \
+           circuit breaker opens.")
+
+let restart_window_arg =
+  Arg.(
+    value & opt float 60.
+    & info [ "restart-window" ] ~docv:"S" ~doc:"Restart-intensity window.")
+
+let drain_timeout_arg =
+  Arg.(
+    value & opt float 30.
+    & info [ "drain-timeout" ] ~docv:"S"
+        ~doc:
+          "Hard-kill bound on graceful drain (SIGTERM / shutdown op / EOF): \
+           past it, stragglers are cancelled and failed explicitly.")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress stderr progress notes.")
+
+let serve_cmd =
+  let info =
+    Cmd.info "serve"
+      ~doc:
+        "Run the broadcast service: many independent gossip sessions \
+         multiplexed over supervised worker domains, with a bounded \
+         admission queue, round-bound-derived deadlines, retry with \
+         randomized backoff, crash/wedge failover and graceful drain. \
+         Speaks NDJSON (submit/poll/cancel/stats/shutdown) on stdio or a \
+         Unix socket."
+  in
+  Cmd.v info
+    Term.(
+      const serve $ socket_arg $ serve_workers_arg $ serve_queue_arg
+      $ retry_budget_arg $ backoff_base_arg $ backoff_cap_arg
+      $ deadline_factor_arg $ round_budget_arg $ heartbeat_arg
+      $ max_restarts_arg $ restart_window_arg $ drain_timeout_arg $ quiet_arg)
+
+(* --- load: the fault-injecting load generator --- *)
+
+let git_describe () =
+  try
+    let ic =
+      Unix.open_process_in "git describe --always --dirty 2>/dev/null"
+    in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> Json.String line
+    | _ -> Json.Null
+  with _ -> Json.Null
+
+let load socket rate duration closed n d protocol topology seed alpha fanout
+    link_loss burst_loss burst_len crash_every wedge_every wedge_ms
+    settle_timeout json_path exp_id =
+  let spec =
+    {
+      Session.default_spec with
+      Session.n;
+      d;
+      protocol;
+      topology;
+      seed;
+      alpha;
+      fanout;
+      link_loss;
+      burst_loss;
+      burst_len;
+    }
+  in
+  match Session.validate_spec spec with
+  | Error m ->
+      prerr_endline ("rumor load: " ^ m);
+      2
+  | Ok spec -> (
+      match
+        Load.cfg ~rate ~duration_s:duration
+          ?closed:(if closed = 0 then None else Some closed)
+          ~spec ~crash_every ~wedge_every ~wedge_ms
+          ~settle_timeout_s:settle_timeout ()
+      with
+      | exception Invalid_argument m ->
+          prerr_endline ("rumor load: " ^ m);
+          2
+      | cfg -> (
+          match Load.connect socket with
+          | exception Unix.Unix_error (e, _, _) ->
+              Printf.eprintf "rumor load: cannot connect to %s: %s\n" socket
+                (Unix.error_message e);
+              1
+          | fd ->
+              let r, span = Obs_metrics.timed (fun () -> Load.run cfg ~fd) in
+              (try Unix.close fd with _ -> ());
+              let q p = Latency.quantile r.Load.latency p *. 1e3 in
+              Printf.printf
+                "rumor-load: %.1fs wall, %d submitted, %d accepted, %d \
+                 rejected\n"
+                r.Load.wall_s r.Load.submitted r.Load.accepted r.Load.rejected;
+              Printf.printf
+                "  completed %d, failed %d, shed %d, cancelled %d, degraded \
+                 %d\n"
+                r.Load.completed r.Load.failed r.Load.shed r.Load.cancelled
+                r.Load.degraded;
+              Printf.printf "  lost %d, unacked %d, protocol errors %d\n"
+                r.Load.lost r.Load.unacked r.Load.protocol_errors;
+              Printf.printf
+                "  latency p50 %.1fms  p90 %.1fms  p99 %.1fms  max %.1fms\n"
+                (q 0.5) (q 0.9) (q 0.99)
+                (Latency.max_seen r.Load.latency *. 1e3);
+              Printf.printf
+                "  achieved %.1f sessions/s (target %.1f/s), server ok: %b\n"
+                r.Load.achieved_rate cfg.Load.rate r.Load.server_ok;
+              (match json_path with
+              | None -> ()
+              | Some path ->
+                  let span_fields =
+                    match Obs_metrics.span_to_json span with
+                    | Json.Obj fs -> fs
+                    | _ -> []
+                  in
+                  let experiment =
+                    Json.Obj
+                      (("id", Json.String exp_id)
+                       :: ( "title",
+                            Json.String
+                              "service load: sessions/sec and latency under \
+                               fault injection" )
+                       :: span_fields
+                      @ [ ("data", Load.report_json cfg r) ])
+                  in
+                  let top =
+                    Json.Obj
+                      [
+                        ("schema", Json.String "rumor-bench/1");
+                        ("created_unix", Json.Float (Unix.gettimeofday ()));
+                        ("git", git_describe ());
+                        ("ocaml", Json.String Sys.ocaml_version);
+                        ("word_size", Json.Int Sys.word_size);
+                        ( "argv",
+                          Json.List
+                            (List.map
+                               (fun a -> Json.String a)
+                               (Array.to_list Sys.argv)) );
+                        ("quick", Json.Bool false);
+                        ("reps", Json.Int 1);
+                        ("experiments", Json.List [ experiment ]);
+                      ]
+                  in
+                  let oc = open_out path in
+                  Json.to_channel ~minify:false oc top;
+                  close_out oc;
+                  Printf.printf "  wrote %s\n" path);
+              if
+                r.Load.lost = 0 && r.Load.unacked = 0
+                && r.Load.protocol_errors = 0 && r.Load.server_ok
+              then 0
+              else 1))
+
+let load_socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Serve endpoint to connect to.")
+
+let rate_arg =
+  Arg.(
+    value & opt float 100.
+    & info [ "rate" ] ~docv:"R"
+        ~doc:
+          "Open-loop target, sessions/sec: session k is submitted at \
+           start + k/R whether or not the service keeps up.")
+
+let duration_arg =
+  Arg.(
+    value & opt float 10.
+    & info [ "duration" ] ~docv:"S" ~doc:"Load window, seconds.")
+
+let closed_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "closed" ] ~docv:"C"
+        ~doc:
+          "Closed loop instead: keep C sessions outstanding (0 = open loop).")
+
+let load_n_arg =
+  Arg.(value & opt int 4096 & info [ "n" ] ~docv:"N" ~doc:"Nodes per session.")
+
+let load_d_arg =
+  Arg.(value & opt int 8 & info [ "d" ] ~docv:"D" ~doc:"Degree.")
+
+let load_protocol_arg =
+  Arg.(
+    value
+    & opt string "push-pull"
+    & info [ "protocol" ] ~docv:"P"
+        ~doc:"bef|bef-seq|push|pull|push-pull|quasirandom.")
+
+let load_topology_arg =
+  Arg.(
+    value
+    & opt string "implicit-regular"
+    & info [ "topology" ] ~docv:"T" ~doc:"Topology name (see run --help).")
+
+let load_seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "seed" ] ~docv:"S" ~doc:"Base seed; session k uses seed + k.")
+
+let load_alpha_arg =
+  Arg.(value & opt float 2.0 & info [ "alpha" ] ~docv:"A" ~doc:"bef alpha.")
+
+let load_fanout_arg =
+  Arg.(value & opt int 4 & info [ "fanout" ] ~docv:"F" ~doc:"bef fanout.")
+
+let load_link_loss_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "link-loss" ] ~docv:"P" ~doc:"Independent per-message loss.")
+
+let load_burst_loss_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "burst-loss" ] ~docv:"P"
+        ~doc:"Stationary Gilbert–Elliott bursty-loss rate.")
+
+let load_burst_len_arg =
+  Arg.(
+    value & opt float 4.
+    & info [ "burst-len" ] ~docv:"L" ~doc:"Mean burst length, rounds.")
+
+let crash_every_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "crash-every" ] ~docv:"K"
+        ~doc:
+          "Every K-th session asks the service to crash its worker domain \
+           mid-run (0 = never) — exercises failover + restart.")
+
+let wedge_every_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "wedge-every" ] ~docv:"K"
+        ~doc:
+          "Every K-th session wedges its worker past the watchdog timeout \
+           (0 = never) — exercises deposition.")
+
+let wedge_ms_arg =
+  Arg.(
+    value & opt float 400.
+    & info [ "wedge-ms" ] ~docv:"MS" ~doc:"Wedge duration.")
+
+let settle_arg =
+  Arg.(
+    value & opt float 30.
+    & info [ "settle-timeout" ] ~docv:"S"
+        ~doc:"Grace for stragglers after the load window.")
+
+let load_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Write a rumor-bench/1 document with the load report.")
+
+let exp_id_arg =
+  Arg.(
+    value & opt string "E13"
+    & info [ "id" ] ~docv:"ID" ~doc:"Experiment id for the JSON document.")
+
+let load_cmd =
+  let info =
+    Cmd.info "load"
+      ~doc:
+        "Drive a rumor serve endpoint with generated sessions (open or \
+         closed loop) under per-session fault injection, and account for \
+         every submission: throughput, p50/p99 latency, rejections, \
+         retries, and — the invariant under test — zero lost sessions. \
+         Exits 0 iff accounting is airtight and the server monitor is \
+         clean."
+  in
+  Cmd.v info
+    Term.(
+      const load $ load_socket_arg $ rate_arg $ duration_arg $ closed_arg
+      $ load_n_arg $ load_d_arg $ load_protocol_arg $ load_topology_arg
+      $ load_seed_arg $ load_alpha_arg $ load_fanout_arg $ load_link_loss_arg
+      $ load_burst_loss_arg $ load_burst_len_arg $ crash_every_arg
+      $ wedge_every_arg $ wedge_ms_arg $ settle_arg $ load_json_arg
+      $ exp_id_arg)
+
 (* --- main --- *)
 
 let () =
@@ -1554,4 +1941,6 @@ let () =
             chaos_cmd;
             replay_cmd;
             bench_check_cmd;
+            serve_cmd;
+            load_cmd;
           ]))

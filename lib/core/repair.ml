@@ -13,6 +13,25 @@ type config = {
   max_epochs : int;
 }
 
+type backoff = { base : int; cap : int }
+
+let backoff ?(base = 1) ?(cap = 8) () =
+  if base < 1 then invalid_arg "Repair.backoff: base must be >= 1";
+  if cap < base then invalid_arg "Repair.backoff: cap must be >= base";
+  { base; cap }
+
+(* The window doubles per attempt, saturating at [cap]; the shift count
+   is clamped so attempt counts past 62 cannot overflow the shift. *)
+let backoff_window b ~attempt =
+  if attempt < 0 then invalid_arg "Repair.backoff_window: attempt < 0";
+  min b.cap (b.base lsl min attempt 16)
+
+let backoff_gap b ~rng ~attempt =
+  let window = backoff_window b ~attempt in
+  1 + Rng.int rng (max window 1)
+
+let backoff_of_config cfg = { base = cfg.backoff_base; cap = cfg.backoff_cap }
+
 let config ?(timeout = 2) ?(backoff_base = 1) ?(backoff_cap = 8) ?quiescence
     ?epoch_rounds ?(max_epochs = 8) ~n () =
   if n < 1 then invalid_arg "Repair.config: n must be >= 1";
@@ -59,6 +78,7 @@ let protocol cfg =
 let strategy cfg ~rng ~capacity ~epoch:_ ~knows =
   let next = Array.make capacity max_int in
   let attempt = Array.make capacity 0 in
+  let policy = backoff_of_config cfg in
   for v = 0 to capacity - 1 do
     if not knows.(v) then next.(v) <- cfg.timeout + 1
   done;
@@ -74,11 +94,9 @@ let strategy cfg ~rng ~capacity ~epoch:_ ~knows =
       false
     end
     else if round >= next.(node) then begin
-      let window =
-        min cfg.backoff_cap (cfg.backoff_base lsl min attempt.(node) 16)
-      in
+      let gap = backoff_gap policy ~rng ~attempt:attempt.(node) in
       attempt.(node) <- attempt.(node) + 1;
-      next.(node) <- round + 1 + Rng.int rng (max window 1);
+      next.(node) <- round + gap;
       true
     end
     else false

@@ -30,6 +30,35 @@ type config = {
   max_epochs : int;  (** epoch budget for a healing run *)
 }
 
+type backoff = {
+  base : int;  (** initial window, in scheduling units (>= 1) *)
+  cap : int;  (** window ceiling (>= [base]) *)
+}
+(** A randomized-exponential-backoff policy, shared between the repair
+    epochs below (units are rounds) and the [Rumor_serve] session
+    retries (units are milliseconds): attempt [k] waits a uniformly
+    random gap in [\[1, w_k\]] where the window [w_k = min cap (base *
+    2^k)] doubles until it saturates at [cap]. *)
+
+val backoff : ?base:int -> ?cap:int -> unit -> backoff
+(** Validated policy ([base] defaults to 1, [cap] to 8).
+    @raise Invalid_argument if [base < 1] or [cap < base]. *)
+
+val backoff_window : backoff -> attempt:int -> int
+(** [backoff_window b ~attempt] is the window [w_attempt] (attempts are
+    0-based): [min cap (base * 2^min(attempt, 16))].
+    @raise Invalid_argument if [attempt < 0]. *)
+
+val backoff_gap : backoff -> rng:Rumor_rng.Rng.t -> attempt:int -> int
+(** [backoff_gap b ~rng ~attempt] draws the randomized gap before the
+    next try: [1 + uniform(0, backoff_window b ~attempt - 1)], so it
+    always lies in [\[1, backoff_window b ~attempt\]].
+    @raise Invalid_argument if [attempt < 0]. *)
+
+val backoff_of_config : config -> backoff
+(** The policy embedded in a repair {!config}
+    ([{base = backoff_base; cap = backoff_cap}]). *)
+
 val config :
   ?timeout:int ->
   ?backoff_base:int ->

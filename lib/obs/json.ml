@@ -96,7 +96,10 @@ let to_channel ?minify oc v =
 
 exception Parse_error of int * string
 
-let of_string s =
+let default_max_depth = 256
+
+let of_string ?(max_depth = default_max_depth) s =
+  if max_depth < 1 then invalid_arg "Json.of_string: max_depth must be >= 1";
   let n = String.length s in
   let pos = ref 0 in
   let fail msg = raise (Parse_error (!pos, msg)) in
@@ -201,11 +204,17 @@ let of_string s =
           | Some f -> Float f
           | None -> fail (Printf.sprintf "bad number %S" tok))
   in
-  let rec parse_value () =
+  (* [depth] counts open containers. The parser recurses once per
+     nesting level, so hostile input like 10^6 bytes of '[' would
+     otherwise exhaust the OCaml stack; wire-facing consumers (the
+     [rumor serve] NDJSON protocol) parse untrusted bytes through this
+     function, so the bound is a hard security limit, not a nicety. *)
+  let rec parse_value depth =
     skip_ws ();
     match peek () with
     | None -> fail "unexpected end of input"
     | Some '{' ->
+        if depth >= max_depth then fail "nesting too deep";
         advance ();
         skip_ws ();
         if peek () = Some '}' then begin
@@ -219,7 +228,7 @@ let of_string s =
             let k = parse_string () in
             skip_ws ();
             expect ':';
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             fields := (k, v) :: !fields;
             skip_ws ();
             match peek () with
@@ -231,6 +240,7 @@ let of_string s =
           Obj (List.rev !fields)
         end
     | Some '[' ->
+        if depth >= max_depth then fail "nesting too deep";
         advance ();
         skip_ws ();
         if peek () = Some ']' then begin
@@ -240,7 +250,7 @@ let of_string s =
         else begin
           let items = ref [] in
           let rec item () =
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             items := v :: !items;
             skip_ws ();
             match peek () with
@@ -258,7 +268,7 @@ let of_string s =
     | Some _ -> parse_number ()
   in
   match
-    let v = parse_value () in
+    let v = parse_value 0 in
     skip_ws ();
     if !pos <> n then fail "trailing garbage";
     v

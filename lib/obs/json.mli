@@ -28,11 +28,22 @@ val escape_string : string -> string
 (** The JSON escaping of a string, without the surrounding quotes
     (["\n"] becomes ["\\n"], control bytes become [\u00XX], ...). *)
 
-val of_string : string -> (t, string) result
+val default_max_depth : int
+(** Default container-nesting bound of {!of_string} (256). *)
+
+val of_string : ?max_depth:int -> string -> (t, string) result
 (** Parse one JSON value. Numbers without [.], [e] or [E] parse as
     [Int]; everything else as [Float]. Trailing whitespace is allowed,
     trailing garbage is an error. The error string carries a byte
-    offset. *)
+    offset.
+
+    [max_depth] (default {!default_max_depth}) bounds container
+    nesting: input opening more than [max_depth] arrays/objects is
+    rejected with a parse error instead of recursing — crafted NDJSON
+    like a megabyte of ['\['] cannot overflow the stack. Telemetry this
+    library writes stays far below the bound; raise it only for trusted
+    input.
+    @raise Invalid_argument if [max_depth < 1]. *)
 
 (** {2 Accessors} — for schema checks and bench-file diffing. *)
 

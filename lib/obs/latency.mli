@@ -1,0 +1,43 @@
+(** Log-bucketed latency histogram with quantiles.
+
+    The service layer ([Rumor_serve]) and the [rumor load] generator
+    record one sample per session; p50/p99 session latency is the
+    headline service metric, and sample counts reach hundreds of
+    thousands, so samples are folded into fixed geometric buckets (8
+    per octave from 1 µs, 320 buckets ≈ nine decades) instead of being
+    stored: O(1) allocation-free add, bounded ~9% relative quantile
+    error, and histograms merge exactly.
+
+    All operations are thread-safe (a mutex guards the counters);
+    samples may be added concurrently from worker domains while another
+    thread reads quantiles. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** Record one sample, in seconds. Negative samples clamp to 0.
+    @raise Invalid_argument on a NaN or infinite sample. *)
+
+val count : t -> int
+(** Samples recorded. *)
+
+val mean : t -> float
+(** Exact mean of the recorded samples (0 when empty), in seconds. *)
+
+val max_seen : t -> float
+(** Exact maximum recorded sample (0 when empty), in seconds. *)
+
+val quantile : t -> float -> float
+(** [quantile t q] for [q] in [\[0, 1\]]: the geometric midpoint of the
+    smallest bucket covering rank [ceil (q * count)], capped at the
+    exact maximum (so [quantile t 1.0 = max_seen t]); 0 when empty.
+    @raise Invalid_argument if [q] is outside [\[0, 1\]]. *)
+
+val merge_into : dst:t -> t -> unit
+(** Fold one histogram into another (bucket-wise sum; exact). *)
+
+val to_json : t -> Json.t
+(** [{count, mean_ms, p50_ms, p90_ms, p99_ms, max_ms}] — milliseconds,
+    the unit the service telemetry reports. *)

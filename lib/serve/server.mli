@@ -1,0 +1,29 @@
+(** The [rumor serve] frontend: NDJSON over stdio or a Unix socket.
+
+    Single-threaded I/O on top of one {!Service}: worker domains never
+    touch a descriptor — terminal notifications are queued and flushed
+    by the select loop, so a slow or dead client can delay its own
+    events but can never wedge a worker (and thus can never trip the
+    supervisor's watchdog).
+
+    Drain semantics: SIGTERM, SIGINT, a wire [shutdown] op, or EOF on
+    stdin close admission (further submits are rejected with
+    ["draining"]); in-flight sessions finish and deliver their events;
+    then the service winds down. [drain_timeout_s] is the hard-kill
+    bound — past it, stragglers are cancelled and force-failed so the
+    no-session-lost invariant still holds. *)
+
+type transport = Stdio | Unix_socket of string
+
+val run :
+  ?config:Service.config ->
+  ?drain_timeout_s:float ->
+  ?quiet:bool ->
+  transport ->
+  int
+(** Serve until drained. Returns the process exit code: [0] iff the
+    drain was clean — in-flight work settled inside the timeout, every
+    worker domain was joined, and the monitor recorded no invariant
+    violation. Installs SIGTERM/SIGINT/SIGPIPE handlers for the
+    duration and restores them on exit; a pre-existing socket path is
+    replaced and unlinked on shutdown. *)

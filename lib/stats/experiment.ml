@@ -1,9 +1,40 @@
 module Rng = Rumor_rng.Rng
 
+(* --- graceful interruption ---
+
+   A single process-wide flag, set from a SIGINT/SIGTERM handler (or
+   directly by tests). Replication workers poll it between repetitions:
+   on interruption every domain finishes its current repetition, the
+   spawner joins them all (no orphaned domains), and the completed
+   subset is returned so callers can flush partial documents. *)
+
+let interrupt_flag = Atomic.make false
+
+let interrupted () = Atomic.get interrupt_flag
+let request_interrupt () = Atomic.set interrupt_flag true
+
+let with_interrupt_signals f =
+  Atomic.set interrupt_flag false;
+  let install s = Sys.signal s (Sys.Signal_handle (fun _ -> request_interrupt ())) in
+  let old_int = install Sys.sigint in
+  let old_term = install Sys.sigterm in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.set_signal Sys.sigint old_int;
+      Sys.set_signal Sys.sigterm old_term)
+    f
+
 let replicate ~seed ~reps f =
   if reps < 1 then invalid_arg "Experiment.replicate: reps < 1";
   let base = Rng.create seed in
-  List.init reps (fun i -> f (Rng.fork base i))
+  let acc = ref [] in
+  (try
+     for i = 0 to reps - 1 do
+       if interrupted () then raise Exit;
+       acc := f (Rng.fork base i) :: !acc
+     done
+   with Exit -> ());
+  List.rev !acc
 
 (* Capped: replication workers are compute-bound, so more domains than
    cores only adds scheduling noise, and past ~8 the per-domain minor
@@ -27,7 +58,7 @@ let replicate_parallel ?domains ~seed ~reps f =
     let out = Array.make reps None in
     let worker k () =
       let i = ref k in
-      while !i < reps do
+      while !i < reps && not (interrupted ()) do
         (* Indices are partitioned round-robin: each slot is written by
            exactly one domain and read only after the join. *)
         out.(!i) <- Some (f rngs.(!i));
@@ -36,10 +67,11 @@ let replicate_parallel ?domains ~seed ~reps f =
     in
     let spawned = List.init domains (fun k -> Domain.spawn (worker k)) in
     List.iter Domain.join spawned;
-    Array.to_list
-      (Array.map
-         (function Some x -> x | None -> assert false)
-         out)
+    (* Without interruption every slot is filled; under interruption the
+       completed subset is returned in repetition order (each completed
+       repetition is bit-identical to its uninterrupted counterpart,
+       because the streams were pre-forked). *)
+    Array.to_list out |> List.filter_map Fun.id
   end
 
 let summarize ~seed ~reps f = Summary.of_list (replicate ~seed ~reps f)
@@ -47,10 +79,8 @@ let summarize ~seed ~reps f = Summary.of_list (replicate ~seed ~reps f)
 let mean_of ~seed ~reps f = (summarize ~seed ~reps f).Summary.mean
 
 let success_rate ~seed ~reps f =
+  let results = replicate ~seed ~reps f in
   let hits =
-    List.fold_left
-      (fun acc ok -> if ok then acc + 1 else acc)
-      0
-      (replicate ~seed ~reps f)
+    List.fold_left (fun acc ok -> if ok then acc + 1 else acc) 0 results
   in
-  float_of_int hits /. float_of_int reps
+  float_of_int hits /. float_of_int (max 1 (List.length results))

@@ -3,12 +3,41 @@
     Every experiment in the bench harness follows the same pattern:
     run a measurement under [reps] independent random streams (forked
     from a base seed, so any single repetition can be replayed) and
-    summarise each extracted metric. *)
+    summarise each extracted metric.
+
+    {2 Graceful interruption}
+
+    Long replications can be interrupted without orphaning worker
+    domains: inside {!with_interrupt_signals}, SIGINT/SIGTERM set a
+    process-wide flag that {!replicate} and {!replicate_parallel} poll
+    between repetitions. On interruption every domain finishes the
+    repetition it is on and is joined, and the call returns the
+    {e completed subset} (possibly empty, in repetition order; each
+    returned repetition is bit-identical to its uninterrupted
+    counterpart because per-repetition streams are pre-forked). Callers
+    that persist documents should check {!interrupted} afterwards and
+    mark partial output (the bench harness flushes its [rumor-bench/1]
+    record with [truncated: true]). *)
+
+val interrupted : unit -> bool
+(** Whether an interruption has been requested (signal or
+    {!request_interrupt}). *)
+
+val request_interrupt : unit -> unit
+(** Set the interruption flag directly — what the signal handler does;
+    exposed for tests and embedding services. *)
+
+val with_interrupt_signals : (unit -> 'a) -> 'a
+(** [with_interrupt_signals f] clears the interruption flag, installs
+    SIGINT and SIGTERM handlers that set it, runs [f] and restores the
+    previous handlers (also on exception). The flag is {e not} cleared
+    on exit, so the caller can still observe a late interruption. *)
 
 val replicate :
   seed:int -> reps:int -> (Rumor_rng.Rng.t -> 'a) -> 'a list
 (** [replicate ~seed ~reps f] calls [f] once per repetition with an
-    independent stream forked from [seed].
+    independent stream forked from [seed]. Returns the completed prefix
+    when interrupted (see above); all [reps] results otherwise.
     @raise Invalid_argument if [reps < 1]. *)
 
 val default_domains : unit -> int
@@ -23,7 +52,9 @@ val replicate_parallel :
     (default {!default_domains}) OCaml domains. This is the default
     replication path of the bench harness and the sweep-style
     subcommands; pass [~domains:1] to force the sequential code path.
-    [f] must not share mutable state across calls.
+    [f] must not share mutable state across calls. Under interruption
+    the completed subset is returned and every domain is joined before
+    the call returns — no orphans.
     @raise Invalid_argument if [reps < 1] or [domains < 1]. *)
 
 val summarize :
@@ -36,4 +67,5 @@ val mean_of :
 
 val success_rate :
   seed:int -> reps:int -> (Rumor_rng.Rng.t -> bool) -> float
-(** Fraction of repetitions returning [true]. *)
+(** Fraction of repetitions returning [true] (of the completed subset
+    under interruption). *)

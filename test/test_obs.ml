@@ -193,6 +193,134 @@ let test_trace_ndjson () =
       | Error e -> Alcotest.fail ("line does not parse: " ^ e))
     lines
 
+(* --- parser hardening: nesting depth and trailing garbage --- *)
+
+let expect_error what = function
+  | Ok _ -> Alcotest.failf "expected a parse error: %s" what
+  | Error e ->
+      Alcotest.(check bool)
+        (what ^ ": error carries a message")
+        true
+        (String.length e > 0)
+
+let nested_arrays depth =
+  String.concat ""
+    (List.init depth (fun _ -> "[")
+    @ [ "0" ]
+    @ List.init depth (fun _ -> "]"))
+
+let test_parse_depth_limit () =
+  (* A crafted megabyte of '[' must be rejected, not recursed into:
+     this is the NDJSON hostile-input case the serve layer feeds the
+     parser. An unbounded parser stack-overflows here. *)
+  let bomb = String.make 100_000 '[' in
+  expect_error "100k open brackets" (Json.of_string bomb);
+  (* The default bound sits at 256 open containers. *)
+  (match Json.of_string (nested_arrays Json.default_max_depth) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "depth = bound should parse: %s" e);
+  expect_error "bound + 1"
+    (Json.of_string (nested_arrays (Json.default_max_depth + 1)));
+  (* Objects count toward the same bound as arrays. *)
+  let deep_obj =
+    String.concat ""
+      (List.init 300 (fun _ -> {|{"k":|}) @ [ "0" ]
+      @ List.init 300 (fun _ -> "}"))
+  in
+  expect_error "300 nested objects" (Json.of_string deep_obj)
+
+let test_parse_depth_custom () =
+  (match Json.of_string ~max_depth:2 {|{"a":[1,2]}|} with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "depth-2 value under bound 2: %s" e);
+  expect_error "bound 2, depth 3" (Json.of_string ~max_depth:2 {|{"a":[[1]]}|});
+  expect_error "bound 1 rejects any nesting"
+    (Json.of_string ~max_depth:1 {|[[0]]|});
+  Alcotest.check_raises "max_depth 0 invalid"
+    (Invalid_argument "Json.of_string: max_depth must be >= 1") (fun () ->
+      ignore (Json.of_string ~max_depth:0 "1"))
+
+let test_parse_trailing_garbage () =
+  (* Trailing whitespace is fine... *)
+  (match Json.of_string "{\"a\":1}  \n\t " with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "trailing whitespace: %s" e);
+  (* ...but anything else after the value is an error, with an offset. *)
+  expect_error "second value" (Json.of_string {|{"a":1} {"b":2}|});
+  expect_error "stray bytes" (Json.of_string "true x");
+  expect_error "concatenated scalars" (Json.of_string "1 2");
+  expect_error "close bracket surplus" (Json.of_string "[1]]")
+
+(* --- latency histogram --- *)
+
+module Latency = Rumor_obs.Latency
+
+let test_latency_quantiles () =
+  let t = Latency.create () in
+  Alcotest.(check int) "empty count" 0 (Latency.count t);
+  Alcotest.(check (float 0.)) "empty quantile" 0. (Latency.quantile t 0.5);
+  (* 100 samples of 1ms..100ms: log-bucketed quantiles carry ~9%
+     relative error, so check envelopes rather than exact ranks. *)
+  for i = 1 to 100 do
+    Latency.add t (float_of_int i *. 1e-3)
+  done;
+  Alcotest.(check int) "count" 100 (Latency.count t);
+  Alcotest.(check (float 1e-12)) "exact max" 0.1 (Latency.max_seen t);
+  Alcotest.(check (float 1e-12)) "q1 = max" 0.1 (Latency.quantile t 1.0);
+  let p50 = Latency.quantile t 0.5 in
+  Alcotest.(check bool) "p50 in envelope" true (p50 > 0.04 && p50 < 0.062);
+  let p99 = Latency.quantile t 0.99 in
+  Alcotest.(check bool) "p99 in envelope" true (p99 > 0.085 && p99 <= 0.1);
+  Alcotest.(check bool) "mean exact-ish" true
+    (abs_float (Latency.mean t -. 0.0505) < 1e-9);
+  (* monotone in q *)
+  let qs = [ 0.0; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ] in
+  let vals = List.map (Latency.quantile t) qs in
+  let rec mono = function
+    | a :: (b :: _ as rest) -> a <= b && mono rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "quantiles monotone" true (mono vals)
+
+let test_latency_merge_and_json () =
+  let a = Latency.create () and b = Latency.create () in
+  for i = 1 to 50 do
+    Latency.add a (float_of_int i *. 1e-3)
+  done;
+  for i = 51 to 100 do
+    Latency.add b (float_of_int i *. 1e-3)
+  done;
+  let whole = Latency.create () in
+  for i = 1 to 100 do
+    Latency.add whole (float_of_int i *. 1e-3)
+  done;
+  Latency.merge_into ~dst:a b;
+  Alcotest.(check int) "merged count" 100 (Latency.count a);
+  Alcotest.(check (float 1e-12)) "merged max" (Latency.max_seen whole)
+    (Latency.max_seen a);
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-12))
+        (Printf.sprintf "merge = bulk at q=%g" q)
+        (Latency.quantile whole q) (Latency.quantile a q))
+    [ 0.5; 0.9; 0.99 ];
+  match Latency.to_json a with
+  | Json.Obj fields ->
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) ("field " ^ k) true (List.mem_assoc k fields))
+        [ "count"; "mean_ms"; "p50_ms"; "p90_ms"; "p99_ms"; "max_ms" ];
+      Alcotest.(check (option int)) "count field" (Some 100)
+        (Option.bind (Json.member "count" (Json.Obj fields)) Json.to_int)
+  | _ -> Alcotest.fail "to_json not an object"
+
+let test_latency_rejects_non_finite () =
+  let t = Latency.create () in
+  Alcotest.check_raises "nan" (Invalid_argument "Latency.add: non-finite sample")
+    (fun () -> Latency.add t Float.nan);
+  Latency.add t (-1.);
+  Alcotest.(check (float 0.)) "negative clamps to 0" 0. (Latency.max_seen t)
+
 let () =
   Alcotest.run "rumor_obs"
     [
@@ -208,6 +336,18 @@ let () =
           Alcotest.test_case "errors" `Quick test_parse_errors;
           Alcotest.test_case "unicode escape" `Quick test_parse_unicode_escape;
           Alcotest.test_case "accessors" `Quick test_accessors;
+          Alcotest.test_case "depth limit" `Quick test_parse_depth_limit;
+          Alcotest.test_case "depth custom bound" `Quick
+            test_parse_depth_custom;
+          Alcotest.test_case "trailing garbage" `Quick
+            test_parse_trailing_garbage;
+        ] );
+      ( "latency",
+        [
+          Alcotest.test_case "quantiles" `Quick test_latency_quantiles;
+          Alcotest.test_case "merge + json" `Quick test_latency_merge_and_json;
+          Alcotest.test_case "rejects non-finite" `Quick
+            test_latency_rejects_non_finite;
         ] );
       ( "metrics",
         [

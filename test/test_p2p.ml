@@ -461,9 +461,73 @@ let prop_switch_preserves_degree_multiset =
       ignore (Switcher.run o ~rng ~steps);
       Overlay.invariant o && List.sort compare (degrees_live o) = before)
 
+(* --- capacity handling ---
+
+   A saturated overlay must drop join ticks, not raise: the serve layer
+   calls [Churn.session] from inside engine hooks where an exception
+   would kill a worker domain. *)
+
+let test_churn_session_at_capacity_never_raises () =
+  (* capacity == n: there is no room for any join at all *)
+  let o = regular_overlay ~seed:61 ~n:16 ~d:4 ~capacity:16 in
+  let rng = Rng.create 62 in
+  for _ = 1 to 200 do
+    let ev = Churn.session o ~rng ~d:4 ~join_prob:1.0 ~leave_prob:0.0 () in
+    Alcotest.(check bool) "saturated join tick dropped" true
+      (ev.Churn.joined = None)
+  done;
+  Alcotest.(check int) "population unchanged" 16 (Overlay.node_count o);
+  Alcotest.(check bool) "overlay still sane" true (Overlay.invariant o)
+
+let test_churn_session_refills_after_leaves () =
+  let o = regular_overlay ~seed:63 ~n:16 ~d:4 ~capacity:16 in
+  let rng = Rng.create 64 in
+  (* Make room, then a join-only tick must fire again. *)
+  ignore (Churn.leave_random o ~rng);
+  let rec join_fires tries =
+    if tries = 0 then false
+    else
+      let ev = Churn.session o ~rng ~d:4 ~join_prob:1.0 ~leave_prob:0.0 () in
+      ev.Churn.joined <> None || join_fires (tries - 1)
+  in
+  Alcotest.(check bool) "join fires once capacity frees" true (join_fires 50);
+  Alcotest.(check int) "back at capacity" 16 (Overlay.node_count o)
+
+let live_count_of o =
+  List.length
+    (List.filter
+       (fun v -> Overlay.is_alive o v)
+       (List.init (Overlay.capacity o) (fun i -> i)))
+
+let prop_churn_live_count_consistent =
+  QCheck.Test.make ~count:40
+    ~name:"join/leave streams keep node_count = |alive| (capacity respected)"
+    QCheck.(triple small_int (int_range 1 60) (int_range 0 10))
+    (fun (seed, ops, jp10) ->
+      let capacity = 24 in
+      let o = regular_overlay ~seed:(seed + 3000) ~n:16 ~d:4 ~capacity in
+      let rng = Rng.create (seed + 4000) in
+      let join_prob = float_of_int jp10 /. 10. in
+      let ok = ref true in
+      for i = 1 to ops do
+        let leave_prob = if i mod 3 = 0 then 0.8 else 0.2 in
+        ignore (Churn.session o ~rng ~d:4 ~join_prob ~leave_prob ());
+        let counted = live_count_of o in
+        ok :=
+          !ok
+          && Overlay.node_count o = counted
+          && counted <= capacity
+          && Overlay.invariant o
+      done;
+      !ok)
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_churn_preserves_regularity; prop_switch_preserves_degree_multiset ]
+    [
+      prop_churn_preserves_regularity;
+      prop_switch_preserves_degree_multiset;
+      prop_churn_live_count_consistent;
+    ]
 
 let () =
   Alcotest.run "rumor_p2p"
@@ -493,6 +557,10 @@ let () =
           Alcotest.test_case "leave regular" `Quick test_leave_preserves_regularity;
           Alcotest.test_case "churn storm" `Quick test_churn_storm_keeps_structure;
           Alcotest.test_case "leave dead" `Quick test_leave_not_alive;
+          Alcotest.test_case "session at capacity never raises" `Quick
+            test_churn_session_at_capacity_never_raises;
+          Alcotest.test_case "session refills after leaves" `Quick
+            test_churn_session_refills_after_leaves;
         ] );
       ( "switcher",
         [

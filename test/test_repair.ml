@@ -234,6 +234,101 @@ let test_epoch_accounting_consistent () =
         stats);
   Alcotest.(check (float 1e-9)) "coverage helper" 1.0 (Engine.coverage r)
 
+(* --- backoff policy properties ---
+
+   The [Repair.backoff] policy is shared verbatim by the serve layer's
+   session retries (milliseconds) and the repair epochs (rounds), so
+   its envelope is pinned by properties rather than a few examples. *)
+
+let backoff_gen =
+  QCheck.(
+    map
+      (fun (base, capx) -> Repair.backoff ~base ~cap:(base * capx) ())
+      (pair (int_range 1 1000) (int_range 1 64)))
+
+let prop_backoff_window_formula =
+  QCheck.Test.make ~count:300
+    ~name:"window_k = min cap (base * 2^min(k,16)) exactly"
+    QCheck.(pair backoff_gen (int_range 0 40))
+    (fun (b, attempt) ->
+      let expect =
+        let doubled =
+          if attempt >= 16 then b.Repair.base * 65536
+          else b.Repair.base * (1 lsl attempt)
+        in
+        min b.Repair.cap doubled
+      in
+      Repair.backoff_window b ~attempt = expect)
+
+let prop_backoff_window_monotone_saturates =
+  QCheck.Test.make ~count:300
+    ~name:"windows double monotonically then saturate at cap"
+    backoff_gen
+    (fun b ->
+      let ws = List.init 24 (fun k -> Repair.backoff_window b ~attempt:k) in
+      let rec check prev = function
+        | [] -> true
+        | w :: rest ->
+            w >= prev && w <= b.Repair.cap
+            && (w = b.Repair.cap || w = 2 * prev || prev = 0)
+            && check w rest
+      in
+      (match ws with
+      | w0 :: rest -> w0 = min b.Repair.cap b.Repair.base && check w0 rest
+      | [] -> false)
+      && List.nth ws 23 = b.Repair.cap)
+
+let prop_backoff_gap_in_window =
+  QCheck.Test.make ~count:500
+    ~name:"gap_k uniformly drawn within [1, window_k]"
+    QCheck.(triple backoff_gen (int_range 0 20) small_int)
+    (fun (b, attempt, seed) ->
+      let rng = Rng.create (seed + 17) in
+      let w = Repair.backoff_window b ~attempt in
+      List.for_all
+        (fun _ ->
+          let g = Repair.backoff_gap b ~rng ~attempt in
+          g >= 1 && g <= w)
+        (List.init 20 Fun.id))
+
+let prop_backoff_of_config_consistent =
+  QCheck.Test.make ~count:100
+    ~name:"backoff_of_config embeds the repair config's policy"
+    QCheck.(pair (int_range 1 32) (int_range 1 8))
+    (fun (base, capx) ->
+      let cfg =
+        Repair.config ~n:1024 ~backoff_base:base ~backoff_cap:(base * capx) ()
+      in
+      let b = Repair.backoff_of_config cfg in
+      b.Repair.base = cfg.Repair.backoff_base
+      && b.Repair.cap = cfg.Repair.backoff_cap
+      && List.for_all
+           (fun k ->
+             Repair.backoff_window b ~attempt:k
+             = min cfg.Repair.backoff_cap
+                 (cfg.Repair.backoff_base * (1 lsl k)))
+           [ 0; 1; 2; 3; 4 ])
+
+let test_backoff_validation () =
+  Alcotest.check_raises "base < 1"
+    (Invalid_argument "Repair.backoff: base must be >= 1") (fun () ->
+      ignore (Repair.backoff ~base:0 ()));
+  Alcotest.check_raises "cap < base"
+    (Invalid_argument "Repair.backoff: cap must be >= base") (fun () ->
+      ignore (Repair.backoff ~base:10 ~cap:5 ()));
+  Alcotest.check_raises "negative attempt"
+    (Invalid_argument "Repair.backoff_window: attempt < 0") (fun () ->
+      ignore (Repair.backoff_window (Repair.backoff ()) ~attempt:(-1)))
+
+let backoff_qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_backoff_window_formula;
+      prop_backoff_window_monotone_saturates;
+      prop_backoff_gap_in_window;
+      prop_backoff_of_config_consistent;
+    ]
+
 let () =
   Alcotest.run "repair"
     [
@@ -259,4 +354,7 @@ let () =
             test_fault_free_overhead_linear;
           Alcotest.test_case "hostile plan heals" `Slow test_hostile_plan_heals;
         ] );
+      ( "backoff",
+        Alcotest.test_case "validation" `Quick test_backoff_validation
+        :: backoff_qcheck_cases );
     ]

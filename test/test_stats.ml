@@ -240,6 +240,95 @@ let test_success_rate () =
   Alcotest.(check bool) "near 0.25" true (abs_float (r -. 0.25) < 0.04);
   checkf "always true" 1. (Experiment.success_rate ~seed:9 ~reps:10 (fun _ -> true))
 
+(* --- graceful interruption --- *)
+
+let clear_interrupt_flag () =
+  (* The flag deliberately survives [with_interrupt_signals]; entering
+     an empty scope is the supported way to reset it between tests. *)
+  Experiment.with_interrupt_signals (fun () -> ())
+
+let test_interrupt_pre_set_empty_prefix () =
+  Fun.protect ~finally:clear_interrupt_flag (fun () ->
+      Experiment.with_interrupt_signals (fun () ->
+          Alcotest.(check bool) "flag cleared on entry" false
+            (Experiment.interrupted ());
+          Experiment.request_interrupt ();
+          Alcotest.(check bool) "flag set" true (Experiment.interrupted ());
+          let r =
+            Experiment.replicate ~seed:21 ~reps:40 (fun rng -> Rng.float rng)
+          in
+          Alcotest.(check int) "pre-interrupted run: empty prefix" 0
+            (List.length r);
+          let rp =
+            Experiment.replicate_parallel ~domains:3 ~seed:21 ~reps:40
+              (fun rng -> Rng.float rng)
+          in
+          Alcotest.(check int) "parallel too" 0 (List.length rp);
+          (* the completed-subset divisor must stay safe on empty *)
+          checkf "success_rate of nothing is 0, not nan" 0.
+            (Experiment.success_rate ~seed:9 ~reps:10 (fun _ -> true)));
+      Alcotest.(check bool) "flag survives scope exit" true
+        (Experiment.interrupted ()))
+
+let test_interrupt_self_signal_partial () =
+  (* The signal path end-to-end, self-inflicted: repetition 10 sends
+     SIGTERM to our own pid; the installed handler sets the flag and the
+     replication must return the completed prefix — bit-identical to the
+     uninterrupted run — instead of dying or running to completion. *)
+  Fun.protect ~finally:clear_interrupt_flag (fun () ->
+      let full =
+        Experiment.replicate ~seed:22 ~reps:30 (fun rng -> Rng.float rng)
+      in
+      let count = ref 0 in
+      let partial =
+        Experiment.with_interrupt_signals (fun () ->
+            Experiment.replicate ~seed:22 ~reps:30 (fun rng ->
+                let v = Rng.float rng in
+                incr count;
+                if !count = 10 then Unix.kill (Unix.getpid ()) Sys.sigterm;
+                (* touch the allocator so the pending handler runs *)
+                ignore (Sys.opaque_identity (Bytes.create 64));
+                v))
+      in
+      Alcotest.(check bool) "interruption observed" true
+        (Experiment.interrupted ());
+      Alcotest.(check bool) "partial, not the full run" true
+        (List.length partial < 30);
+      Alcotest.(check bool) "at least the signalling rep completed" true
+        (List.length partial >= 10);
+      List.iteri
+        (fun i v ->
+          checkf
+            (Printf.sprintf "prefix rep %d bit-identical" i)
+            (List.nth full i) v)
+        partial)
+
+let test_interrupt_parallel_partial_no_orphans () =
+  (* Interrupt mid-flight across domains: the call must join every
+     domain (a leak would hang this test), return a strict subset, and
+     every completed repetition must match its uninterrupted
+     counterpart because streams are pre-forked. *)
+  Fun.protect ~finally:clear_interrupt_flag (fun () ->
+      let full =
+        Experiment.replicate ~seed:23 ~reps:40 (fun rng -> Rng.float rng)
+      in
+      let started = Atomic.make 0 in
+      let partial =
+        Experiment.with_interrupt_signals (fun () ->
+            Experiment.replicate_parallel ~domains:3 ~seed:23 ~reps:40
+              (fun rng ->
+                if Atomic.fetch_and_add started 1 = 5 then
+                  Experiment.request_interrupt ();
+                Rng.float rng))
+      in
+      Alcotest.(check bool) "some repetitions completed" true (partial <> []);
+      Alcotest.(check bool) "a strict subset" true (List.length partial < 40);
+      List.iter
+        (fun v ->
+          Alcotest.(check bool) "value from the uninterrupted run" true
+            (List.exists (fun w -> w = v) full))
+        partial)
+
 (* --- qcheck properties --- *)
 
 let nonempty_floats =
@@ -343,6 +432,15 @@ let () =
           Alcotest.test_case "validation" `Quick test_replicate_validation;
           Alcotest.test_case "summarize" `Quick test_summarize;
           Alcotest.test_case "success rate" `Quick test_success_rate;
+        ] );
+      ( "interruption",
+        [
+          Alcotest.test_case "pre-set flag: empty prefix" `Quick
+            test_interrupt_pre_set_empty_prefix;
+          Alcotest.test_case "self-signal: partial prefix" `Quick
+            test_interrupt_self_signal_partial;
+          Alcotest.test_case "parallel: subset, no orphans" `Quick
+            test_interrupt_parallel_partial_no_orphans;
         ] );
       ("properties", qcheck_cases);
     ]
