@@ -1810,9 +1810,9 @@ let a12 () =
   Printf.printf
     "(implicit-regular d=%d push-pull: the graph is never built — \
      neighbour queries are Feistel evaluations.\n\
-    \ minor words are the per-node protocol states; the documented path \
-     to n = 10^8 is bitset-ifying the kernel's\n\
-    \ remaining int arrays, see EXPERIMENTS.md)\n"
+    \ minor words are the per-node protocol states; A13 runs bef itself \
+     at this scale on the packed per-node\n\
+    \ state, see EXPERIMENTS.md)\n"
     d;
   record "n" (Json.Int n);
   record "d" (Json.Int d);
@@ -1826,6 +1826,99 @@ let a12 () =
   record "run_wall_s" (Json.Float span.Metrics.wall_s);
   record "run_minor_words" (Json.Float span.Metrics.minor_words);
   record "minor_words_per_node" (Json.Float words_per_node)
+
+(* A13: the paper's algorithm at the packed-state frontier — one [bef]
+   broadcast over an implicit random-regular view, per-node protocol
+   state held in byte cells rather than boxed arrays. A12 pins the
+   implicit-topology plumbing with push-pull; this cell pins what that
+   plumbing was for: Algorithms 1/2 themselves at n = 10^7 (10^6 in
+   --quick; n = 10^8 via RUMOR_BENCH_A13_N=100000000, ~10^1 minutes and
+   ~1 GB RSS). The jq gates in CI hold wall seconds, coverage == 1.0,
+   minor words per node <= 1 and peak heap bytes per node on this
+   record, so a regression that reboxes the state — invisible at small
+   n — fails the build. *)
+let a13 () =
+  section "A13" "extension: packed-state bef at n = 10^7";
+  let n =
+    match Sys.getenv_opt "RUMOR_BENCH_A13_N" with
+    | Some v -> (
+        match int_of_string_opt v with
+        | Some x when x >= 4 && x land 1 = 0 -> x
+        | _ -> failwith "RUMOR_BENCH_A13_N must be an even integer >= 4")
+    | None -> if !quick then 1_000_000 else 10_000_000
+  in
+  let d = 8 in
+  let rng = Rng.create 1307 in
+  let topology = Topology.implicit_regular ~seed:0x0BEF5EED ~n ~d in
+  let protocol =
+    Algorithm.make (Params.make ~alpha:1.0 ~fanout:4 ~n_estimate:n ~d ())
+  in
+  (* VmHWM before the run: binary + implicit view, no per-node state
+     yet. The span's peak minus this is (an upper bound on) the run's
+     own footprint — the kernel tables plus GC slack. *)
+  let rss0_kb = Metrics.peak_rss_kb () in
+  let heap0_words = (Gc.quick_stat ()).Gc.heap_words in
+  let res, span =
+    Metrics.timed (fun () ->
+        Engine.run ~rng ~topology ~protocol ~sources:[ Rng.int rng n ] ())
+  in
+  let tx_per_node = fin (Engine.transmissions res) /. fin n in
+  let words_per_node = span.Metrics.minor_words /. fin n in
+  let heap_bytes_per_node =
+    fin ((span.Metrics.heap_words - heap0_words) * 8) /. fin n
+  in
+  let rss_bytes_per_node =
+    fin ((span.Metrics.peak_rss_kb - rss0_kb) * 1024) /. fin n
+  in
+  let t =
+    Table.create
+      ~columns:
+        [
+          ("n", Table.Right);
+          ("rounds", Table.Right);
+          ("coverage", Table.Right);
+          ("tx/node", Table.Right);
+          ("wall s", Table.Right);
+          ("minor w/node", Table.Right);
+          ("heap B/node", Table.Right);
+          ("rss B/node", Table.Right);
+        ]
+  in
+  Table.add_row t
+    [
+      string_of_int n;
+      string_of_int res.Engine.rounds;
+      Printf.sprintf "%.4f" (Engine.coverage res);
+      Printf.sprintf "%.2f" tx_per_node;
+      Printf.sprintf "%.2f" span.Metrics.wall_s;
+      Printf.sprintf "%.2f" words_per_node;
+      Printf.sprintf "%.2f" heap_bytes_per_node;
+      Printf.sprintf "%.2f" rss_bytes_per_node;
+    ];
+  Table.print t;
+  Printf.printf
+    "(bef %s, packed per-node state: 8-bit phase codes + 8-bit decision \
+     stamps + 16-bit duplicate\n\
+    \ tallies + word-parallel bitsets — the boxed equivalent is ~9 words \
+     = 72 bytes per node)\n"
+    protocol.Rumor_sim.Protocol.name;
+  record "n" (Json.Int n);
+  record "d" (Json.Int d);
+  record "protocol" (Json.String protocol.Rumor_sim.Protocol.name);
+  record "rounds" (Json.Int res.Engine.rounds);
+  record "completion_round"
+    (match res.Engine.completion_round with
+    | Some c -> Json.Int c
+    | None -> Json.Null);
+  record "coverage" (Json.Float (Engine.coverage res));
+  record "tx_per_node" (Json.Float tx_per_node);
+  record "run_wall_s" (Json.Float span.Metrics.wall_s);
+  record "run_minor_words" (Json.Float span.Metrics.minor_words);
+  record "minor_words_per_node" (Json.Float words_per_node);
+  record "heap_bytes_per_node" (Json.Float heap_bytes_per_node);
+  record "peak_rss_kb" (Json.Int span.Metrics.peak_rss_kb);
+  record "baseline_rss_kb" (Json.Int rss0_kb);
+  record "rss_bytes_per_node" (Json.Float rss_bytes_per_node)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks.                                          *)
@@ -1907,6 +2000,7 @@ let all_experiments =
     ("A10", a10);
     ("A11", a11);
     ("A12", a12);
+    ("A13", a13);
     ("MICRO", micro);
   ]
 

@@ -92,6 +92,15 @@ let loss_arg =
 let trace_arg =
   Arg.(value & flag & info [ "trace" ] ~doc:"Print the per-round trace.")
 
+let no_packed_arg =
+  Arg.(
+    value & flag
+    & info [ "no-packed" ]
+        ~doc:
+          "Keep per-node protocol state in boxed OCaml arrays instead of the \
+           packed byte cells. Trajectories are bit-identical either way; the \
+           flag exists for memory A/B comparisons.")
+
 let json_arg =
   Arg.(
     value & flag
@@ -156,7 +165,8 @@ let generate_cmd =
 (* --- broadcast --- *)
 
 let broadcast seed n d topology protocol alpha fanout loss trace graph_in json
-    trace_out =
+    trace_out no_packed =
+  let packed = not no_packed in
   let rng = Rng.create seed in
   let fault = Fault.make ~link_loss:loss () in
   let collect_trace = trace || trace_out <> None in
@@ -179,8 +189,8 @@ let broadcast seed n d topology protocol alpha fanout loss trace graph_in json
       ( n_real,
         p,
         Obs_metrics.timed (fun () ->
-            Engine.run ~fault ~collect_trace ~rng ~topology:top ~protocol:p
-              ~sources:[ source ] ()) )
+            Engine.run ~fault ~collect_trace ~packed ~rng ~topology:top
+              ~protocol:p ~sources:[ source ] ()) )
     end
     else begin
       let g =
@@ -196,7 +206,7 @@ let broadcast seed n d topology protocol alpha fanout loss trace graph_in json
       ( n_real,
         p,
         Obs_metrics.timed (fun () ->
-            Run.once ~fault ~collect_trace ~rng ~graph:g ~protocol:p
+            Run.once ~fault ~collect_trace ~packed ~rng ~graph:g ~protocol:p
               ~source:(Run.random_source rng g) ()) )
     end
   in
@@ -256,7 +266,7 @@ let broadcast_cmd =
     Term.(
       const broadcast $ seed_arg $ n_arg $ d_arg $ topology_arg $ protocol_arg
       $ alpha_arg $ fanout_arg $ loss_arg $ trace_arg $ graph_in_arg $ json_arg
-      $ trace_out_arg)
+      $ trace_out_arg $ no_packed_arg)
 
 (* --- multi --- *)
 

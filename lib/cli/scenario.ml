@@ -41,6 +41,7 @@ type t = {
   max_epochs : int;
   reps : int;
   domains : int;
+  packed : bool;
 }
 
 let default =
@@ -73,6 +74,7 @@ let default =
     max_epochs = 0;
     reps = 5;
     domains = 0;
+    packed = true;
   }
 
 let topologies =
@@ -290,6 +292,12 @@ let parse text =
                   parse_int value (fun x ->
                       if x < 0 then err "domains must be >= 0 (0 = auto)"
                       else continue { acc with domains = x })
+              | "packed" -> begin
+                  match value with
+                  | "true" -> continue { acc with packed = true }
+                  | "false" -> continue { acc with packed = false }
+                  | _ -> err "packed must be true or false"
+                end
               | other -> err ("unknown key: " ^ other)
               end
             end
@@ -319,7 +327,8 @@ let make_graph ~rng ~topology ~n ~d =
       (Printf.sprintf
          "n = %d exceeds the materialised-graph cap of %d nodes; use an \
           implicit topology (implicit-regular, implicit-hypercube, \
-          implicit-chords) for runs at this scale"
+          implicit-chords), which the packed per-node kernel state \
+          carries to n = 10^8"
          n materialise_cap);
   match topology with
   | "regular" ->
@@ -451,11 +460,12 @@ let run scenario =
           let source = Rng.int rng n_real in
           match repair_config with
           | Some config ->
-              Repair.self_heal ~fault ~config ~rng ~topology ~protocol:p
-                ~sources:[ source ] ()
+              Repair.self_heal ~fault ~config ~packed:scenario.packed ~rng
+                ~topology ~protocol:p ~sources:[ source ] ()
           | None ->
-              Engine.run ~fault ~stop_when_complete:stop ~rng ~topology
-                ~protocol:p ~sources:[ source ] ()
+              Engine.run ~fault ~stop_when_complete:stop
+                ~packed:scenario.packed ~rng ~topology ~protocol:p
+                ~sources:[ source ] ()
         end
         else
         let g =
@@ -496,20 +506,22 @@ let run scenario =
           in
           match repair_config with
           | Some config ->
-              Repair.self_heal ~fault ~config ~reset ~on_round_end ~rng
-                ~topology ~protocol:p ~sources:[ source ] ()
+              Repair.self_heal ~fault ~config ~reset ~on_round_end
+                ~packed:scenario.packed ~rng ~topology ~protocol:p
+                ~sources:[ source ] ()
           | None ->
               Engine.run ~fault ~forget_on_recover:true ~reset ~on_round_end
-                ~stop_when_complete:stop ~rng ~topology ~protocol:p
-                ~sources:[ source ] ()
+                ~stop_when_complete:stop ~packed:scenario.packed ~rng
+                ~topology ~protocol:p ~sources:[ source ] ()
         end
         else
           match repair_config with
           | Some config ->
-              Repair.heal ~fault ~config ~rng ~graph:g ~protocol:p ~source ()
+              Repair.heal ~fault ~config ~packed:scenario.packed ~rng ~graph:g
+                ~protocol:p ~source ()
           | None ->
-              Run_.once ~fault ~stop_when_complete:stop ~rng ~graph:g
-                ~protocol:p ~source ())
+              Run_.once ~fault ~stop_when_complete:stop ~packed:scenario.packed
+                ~rng ~graph:g ~protocol:p ~source ())
   in
   let of_metric f = Summary.of_list (List.map f results) in
   {

@@ -95,6 +95,12 @@ type t = {
       (** OCaml domains for parallel replication; 0 (the default) means
           auto ({!Rumor_stats.Experiment.default_domains}). Results are
           bit-identical for every value. *)
+  packed : bool;
+      (** Store per-node protocol state in packed byte cells where the
+          protocol supports it ({!Rumor_sim.Protocol.packed_ops});
+          [false] forces the boxed arrays. Trajectories are
+          bit-identical either way — the switch exists for memory A/B
+          runs and as an escape hatch. Scenario key [packed]. *)
 }
 
 val default : t

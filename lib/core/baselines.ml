@@ -1,5 +1,6 @@
 module Protocol = Rumor_sim.Protocol
 module Selector = Rumor_sim.Selector
+module Cells = Rumor_sim.Cells
 
 type state = Algorithm.state
 
@@ -11,8 +12,44 @@ let receive state ~round =
   | Algorithm.Uninformed -> Algorithm.Informed { received = round }
   | Algorithm.Informed _ as st -> st
 
+(* Packed codes, shared with {!Algorithm}: 0 = Uninformed, [c > 0] =
+   Informed { received = c - 1 }. Baseline decisions depend only on
+   informedness and the round, so the packed decide takes the same
+   [decide_code] closure each constructor already has. *)
+let encode state =
+  match state with
+  | Algorithm.Uninformed -> 0
+  | Algorithm.Informed { received } -> received + 1
+
+let decode c =
+  if c = 0 then Algorithm.Uninformed else Algorithm.Informed { received = c - 1 }
+
+let packed_of ~horizon ~decide_code ~quiescent_code =
+  if horizon + 1 > 0xFFFFFFFF then None
+  else
+    let bits = Cells.bits_of_width (Cells.width_for (horizon + 1)) in
+    Some
+      {
+        Protocol.ops =
+          {
+            Protocol.bits;
+            p_init = (fun ~informed -> if informed then 1 else 0);
+            p_decide =
+              (fun c ~round ->
+                if c = 0 then Protocol.silent else decide_code ~round);
+            p_receive = (fun c ~round -> if c = 0 then round + 1 else c);
+            p_feedback = Protocol.p_no_feedback;
+            p_quiescent = (fun _ ~round -> quiescent_code ~round);
+          };
+        encode;
+        decode;
+      }
+
 let constant_protocol ~name ~selector ~horizon ~decision =
   Selector.validate selector;
+  let decide_code ~round =
+    if round <= horizon then decision else Protocol.silent
+  in
   {
     Protocol.name;
     selector;
@@ -22,11 +59,13 @@ let constant_protocol ~name ~selector ~horizon ~decision =
       (fun state ~round ->
         match state with
         | Algorithm.Uninformed -> Protocol.silent
-        | Algorithm.Informed _ ->
-            if round <= horizon then decision else Protocol.silent);
+        | Algorithm.Informed _ -> decide_code ~round);
     receive;
     feedback = Protocol.no_feedback;
     quiescent = (fun _ ~round -> round > horizon);
+    packed =
+      packed_of ~horizon ~decide_code ~quiescent_code:(fun ~round ->
+          round > horizon);
   }
 
 let push ?(fanout = 1) ~horizon () =
@@ -50,6 +89,11 @@ let push_pull ?(fanout = 1) ~horizon () =
 let push_pull_age ?(fanout = 1) ~push_rounds ~total_rounds () =
   if total_rounds < push_rounds then
     invalid_arg "Baselines.push_pull_age: total_rounds < push_rounds";
+  let decide_code ~round =
+    if round <= push_rounds then Protocol.push_pull
+    else if round <= total_rounds then Protocol.pull_only
+    else Protocol.silent
+  in
   {
     Protocol.name = Printf.sprintf "push-pull-age-f%d" fanout;
     selector = Selector.Uniform { fanout };
@@ -59,18 +103,23 @@ let push_pull_age ?(fanout = 1) ~push_rounds ~total_rounds () =
       (fun state ~round ->
         match state with
         | Algorithm.Uninformed -> Protocol.silent
-        | Algorithm.Informed _ ->
-            if round <= push_rounds then Protocol.push_pull
-            else if round <= total_rounds then Protocol.pull_only
-            else Protocol.silent);
+        | Algorithm.Informed _ -> decide_code ~round);
     receive;
     feedback = Protocol.no_feedback;
     quiescent = (fun _ ~round -> round > total_rounds);
+    packed =
+      packed_of ~horizon:total_rounds ~decide_code ~quiescent_code:(fun ~round ->
+          round > total_rounds);
   }
 
 let push_then_pull ?(fanout = 1) ~push_rounds ~total_rounds () =
   if total_rounds < push_rounds then
     invalid_arg "Baselines.push_then_pull: total_rounds < push_rounds";
+  let decide_code ~round =
+    if round <= push_rounds then Protocol.push_only
+    else if round <= total_rounds then Protocol.pull_only
+    else Protocol.silent
+  in
   {
     Protocol.name = Printf.sprintf "push-then-pull-f%d" fanout;
     selector = Selector.Uniform { fanout };
@@ -80,13 +129,13 @@ let push_then_pull ?(fanout = 1) ~push_rounds ~total_rounds () =
       (fun state ~round ->
         match state with
         | Algorithm.Uninformed -> Protocol.silent
-        | Algorithm.Informed _ ->
-            if round <= push_rounds then Protocol.push_only
-            else if round <= total_rounds then Protocol.pull_only
-            else Protocol.silent);
+        | Algorithm.Informed _ -> decide_code ~round);
     receive;
     feedback = Protocol.no_feedback;
     quiescent = (fun _ ~round -> round > total_rounds);
+    packed =
+      packed_of ~horizon:total_rounds ~decide_code ~quiescent_code:(fun ~round ->
+          round > total_rounds);
   }
 
 let quasirandom ~fanout ~horizon =

@@ -3,6 +3,7 @@ module Engine = Rumor_sim.Engine
 module Protocol = Rumor_sim.Protocol
 module Selector = Rumor_sim.Selector
 module Topology = Rumor_sim.Topology
+module Bitset = Rumor_sim.Bitset
 
 type config = {
   timeout : int;
@@ -73,6 +74,26 @@ let protocol cfg =
     receive = (fun () ~round:_ -> ());
     feedback = Protocol.no_feedback;
     quiescent = (fun () ~round -> round > cfg.quiescence);
+    (* Unit state packs to a single constant code, so repair epochs at
+       the 10^7+ scale skip the capacity-sized unit array too. *)
+    packed =
+      Some
+        {
+          Protocol.ops =
+            {
+              Protocol.bits = 8;
+              p_init = (fun ~informed:_ -> 0);
+              p_decide =
+                (fun _ ~round ->
+                  if round <= cfg.quiescence then Protocol.pull_only
+                  else Protocol.silent);
+              p_receive = (fun _ ~round:_ -> 0);
+              p_feedback = Protocol.p_no_feedback;
+              p_quiescent = (fun _ ~round -> round > cfg.quiescence);
+            };
+          encode = (fun () -> 0);
+          decode = (fun _ -> ());
+        };
   }
 
 let strategy cfg ~rng ~capacity ~epoch:_ ~knows =
@@ -80,7 +101,7 @@ let strategy cfg ~rng ~capacity ~epoch:_ ~knows =
   let attempt = Array.make capacity 0 in
   let policy = backoff_of_config cfg in
   for v = 0 to capacity - 1 do
-    if not knows.(v) then next.(v) <- cfg.timeout + 1
+    if not (Bitset.get knows v) then next.(v) <- cfg.timeout + 1
   done;
   let gate ~informed ~node ~round =
     if informed then
@@ -104,15 +125,16 @@ let strategy cfg ~rng ~capacity ~epoch:_ ~knows =
   { Engine.epoch_protocol = protocol cfg; epoch_gate = gate }
 
 let self_heal ?fault ?collect_trace ?(forget_on_recover = true) ?reset
-    ?on_round_end ?skew ?monitor ~config:cfg ~rng ~topology ~protocol ~sources
-    () =
+    ?on_round_end ?skew ?monitor ?packed ~config:cfg ~rng ~topology ~protocol
+    ~sources () =
   Engine.run_epochs ?fault ?collect_trace ~forget_on_recover ?reset
-    ?on_round_end ?skew ~max_epochs:cfg.max_epochs ?monitor ~rng ~topology
+    ?on_round_end ?skew ?packed ~max_epochs:cfg.max_epochs ?monitor ~rng ~topology
     ~protocol
     ~repair:(strategy cfg ~rng ~capacity:topology.Topology.capacity)
     ~sources ()
 
-let heal ?fault ?collect_trace ?forget_on_recover ?monitor ~config ~rng ~graph
-    ~protocol ~source () =
-  self_heal ?fault ?collect_trace ?forget_on_recover ?monitor ~config ~rng
+let heal ?fault ?collect_trace ?forget_on_recover ?monitor ?packed ~config ~rng
+    ~graph ~protocol ~source () =
+  self_heal ?fault ?collect_trace ?forget_on_recover ?monitor ?packed ~config
+    ~rng
     ~topology:(Topology.of_graph graph) ~protocol ~sources:[ source ] ()

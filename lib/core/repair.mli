@@ -87,7 +87,7 @@ val strategy :
   rng:Rumor_rng.Rng.t ->
   capacity:int ->
   epoch:int ->
-  knows:bool array ->
+  knows:Rumor_sim.Bitset.t ->
   unit Rumor_sim.Engine.epoch_plan
 (** Epoch-plan builder for {!Rumor_sim.Engine.run_epochs}: partially
     apply [strategy cfg ~rng ~capacity] to obtain the [repair]
@@ -106,6 +106,7 @@ val self_heal :
   ?on_round_end:(int -> unit) ->
   ?skew:(int -> int) ->
   ?monitor:Rumor_sim.Invariant.t ->
+  ?packed:bool ->
   config:config ->
   rng:Rumor_rng.Rng.t ->
   topology:Rumor_sim.Topology.t ->
@@ -126,6 +127,7 @@ val heal :
   ?collect_trace:bool ->
   ?forget_on_recover:bool ->
   ?monitor:Rumor_sim.Invariant.t ->
+  ?packed:bool ->
   config:config ->
   rng:Rumor_rng.Rng.t ->
   graph:Rumor_graph.Graph.t ->

@@ -8,6 +8,7 @@ val once :
   ?fault:Rumor_sim.Fault.t ->
   ?collect_trace:bool ->
   ?stop_when_complete:bool ->
+  ?packed:bool ->
   rng:Rumor_rng.Rng.t ->
   graph:Rumor_graph.Graph.t ->
   protocol:'st Rumor_sim.Protocol.t ->

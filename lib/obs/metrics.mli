@@ -15,13 +15,24 @@ type span = {
   major_collections : int;
   compactions : int;
   top_heap_words : int;  (** high-water heap mark at the end of the span *)
+  heap_words : int;  (** major heap size at the end of the span, words *)
+  peak_rss_kb : int;
+      (** process peak resident set (VmHWM), kB; 0 where unavailable.
+          Unlike the GC fields this sees Bytes-backed tables and the
+          runtime itself, so bytes-per-node claims at the 10^7–10^8
+          scale are checkable against it. *)
 }
 
 val timed : (unit -> 'a) -> 'a * span
 (** Run a thunk and measure it. Exceptions propagate unmeasured. *)
 
+val peak_rss_kb : unit -> int
+(** Current [VmHWM] reading from [/proc/self/status], kB; 0 where the
+    file or field is missing (non-Linux). *)
+
 val span_to_json : span -> Json.t
-(** Flat object: [wall_s], [cpu_s] and a nested [gc] object. *)
+(** Flat object: [wall_s], [cpu_s], [peak_rss_kb] and a nested [gc]
+    object. *)
 
 (** Named monotonic counters, for instrumenting code that has no
     natural return value to thread measurements through. *)

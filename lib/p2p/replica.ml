@@ -48,11 +48,8 @@ let broadcast ?fault ~rng ~overlay ~protocol t ~origin ~key ~data =
     Engine.run ?fault ~rng ~topology:(Overlay.to_topology overlay) ~protocol
       ~sources:[ origin ] ()
   in
-  Array.iteri
-    (fun node knows ->
-      if knows && node <> origin then
-        ignore (apply t ~node ~key ~data ~version))
-    result.Engine.knows;
+  Rumor_sim.Bitset.iter_set result.Engine.knows (fun node ->
+      if node <> origin then ignore (apply t ~node ~key ~data ~version));
   result
 
 type sync_cost = { transfers : int; compared : int }

@@ -70,9 +70,19 @@ let topologies =
 
 let max_n = 1 lsl 20
 
+(* Implicit views never materialise a graph, and under the packed
+   kernel state a run costs bytes per node rather than words — so their
+   admission ceiling tracks the simulation frontier (bef completes at
+   n = 10^8), not the topology cache. Materialised specs keep the 2^20
+   cap above. *)
+let max_implicit_n = 100_000_000
+
 let validate_spec s =
   let err fmt = Format.kasprintf (fun m -> Error m) fmt in
-  if s.n < 2 || s.n > max_n then err "n must be in [2, %d]" max_n
+  let n_cap =
+    if Scenario.is_implicit s.topology then max_implicit_n else max_n
+  in
+  if s.n < 2 || s.n > n_cap then err "n must be in [2, %d]" n_cap
   else if s.d < 1 || s.d > 64 then err "d must be in [1, 64]"
   else if not (List.mem s.protocol protocols) then
     err "unknown protocol %S" s.protocol

@@ -39,7 +39,13 @@ val protocols : string list
 val topologies : string list
 
 val max_n : int
-(** Admission ceiling on [n] ([2^20]) — bounds one session's memory. *)
+(** Admission ceiling on [n] for materialised topologies ([2^20]) —
+    bounds one session's graph-cache memory. *)
+
+val max_implicit_n : int
+(** Admission ceiling on [n] for [implicit-*] topologies ([10^8]): no
+    graph is built and packed per-node state keeps a run at bytes per
+    node, so the cap is the simulation frontier, not the cache. *)
 
 val validate_spec : spec -> (spec, string) result
 (** Range-check every field (the wire is hostile input). *)

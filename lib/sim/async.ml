@@ -14,11 +14,11 @@ type result = Kernel.async_result = {
 }
 
 let run ?fault ?stop_when_complete ?collect_trace ?on_round_end ?reset
-    ?monitor ~rng ~graph ~protocol ~sources () =
+    ?monitor ?packed ~rng ~graph ~protocol ~sources () =
   let n = Graph.n graph in
   if sources = [] then invalid_arg "Async.run: no sources";
   List.iter
     (fun s -> if s < 0 || s >= n then invalid_arg "Async.run: bad source")
     sources;
   Kernel.run_async ?fault ?stop_when_complete ?collect_trace ?on_round_end
-    ?reset ?monitor ~rng ~graph ~protocol ~sources ()
+    ?reset ?monitor ?packed ~rng ~graph ~protocol ~sources ()

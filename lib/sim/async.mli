@@ -36,6 +36,7 @@ val run :
   ?on_round_end:(int -> unit) ->
   ?reset:(unit -> int list) ->
   ?monitor:Invariant.t ->
+  ?packed:bool ->
   rng:Rumor_rng.Rng.t ->
   graph:Rumor_graph.Graph.t ->
   protocol:'st Protocol.t ->

@@ -134,3 +134,12 @@ let next_set t i =
   end
 
 let to_bool_array t = Array.init t.len (get t)
+
+let copy t = { bits = Bytes.copy t.bits; len = t.len }
+
+let blit ~src ~dst =
+  if src.len <> dst.len then
+    invalid_arg
+      (Printf.sprintf "Bitset.blit: length mismatch (%d vs %d)" src.len
+         dst.len);
+  Bytes.blit src.bits 0 dst.bits 0 (Bytes.length src.bits)

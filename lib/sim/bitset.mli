@@ -54,3 +54,10 @@ val next_set : t -> int -> int
 
 val to_bool_array : t -> bool array
 (** Expand to a [bool array] of [length] elements. *)
+
+val copy : t -> t
+(** An independent bitset with the same length and contents. *)
+
+val blit : src:t -> dst:t -> unit
+(** Overwrite [dst] with the contents of [src], word-parallel.
+    @raise Invalid_argument if the lengths differ. *)

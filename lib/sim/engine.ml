@@ -19,7 +19,7 @@ type result = {
   push_tx : int;
   pull_tx : int;
   channels : int;
-  knows : bool array;
+  knows : Bitset.t;
   down : int list;
   repair : epoch_stat list;
   trace : Trace.t option;
@@ -64,13 +64,13 @@ let of_kernel ~repair (k : Kernel.result) =
   }
 
 let run ?(fault = Fault.none) ?collect_trace ?stop_when_complete ?gate
-    ?forget_on_recover ?reset ?on_round_end ?skew ?monitor ~rng ~topology
-    ~protocol ~sources () =
+    ?forget_on_recover ?reset ?on_round_end ?skew ?monitor ?packed ~rng
+    ~topology ~protocol ~sources () =
   validate ~where:"Engine.run" ~topology sources;
   of_kernel ~repair:[]
     (Kernel.run ~fault:(Kernel.Full fault) ?collect_trace ?stop_when_complete
-       ?gate ?forget_on_recover ?reset ?on_round_end ?skew ?monitor ~rng
-       ~topology ~protocol
+       ?gate ?forget_on_recover ?reset ?on_round_end ?skew ?monitor ?packed
+       ~rng ~topology ~protocol
        ~tables:[| { Kernel.sources; created = 0 } |]
        ())
 
@@ -80,13 +80,13 @@ type 'st epoch_plan = 'st Kernel.epoch_plan = {
 }
 
 let run_epochs ?fault ?collect_trace ?forget_on_recover ?reset ?on_round_end
-    ?skew ?(max_epochs = 8) ?monitor ~rng ~topology ~protocol ~repair ~sources
-    () =
+    ?skew ?(max_epochs = 8) ?monitor ?packed ~rng ~topology ~protocol ~repair
+    ~sources () =
   if max_epochs < 0 then invalid_arg "Engine.run_epochs: max_epochs < 0";
   validate ~where:"Engine.run" ~topology sources;
   let k, stats =
     Kernel.run_epochs ?fault ?collect_trace ?forget_on_recover ?reset
-      ?on_round_end ?skew ~max_epochs ?monitor ~rng ~topology ~protocol
+      ?on_round_end ?skew ~max_epochs ?monitor ?packed ~rng ~topology ~protocol
       ~repair:(fun ~epoch ~knows -> repair ~epoch ~knows:knows.(0))
       ~tables:[| { Kernel.sources; created = 0 } |]
       ()

@@ -44,10 +44,10 @@ type result = {
   push_tx : int;  (** total push transmissions *)
   pull_tx : int;  (** total pull transmissions *)
   channels : int;  (** total channels successfully opened *)
-  knows : bool array;
+  knows : Bitset.t;
       (** final informed flag per node id (length = topology capacity) —
           lets applications deliver the payload to exactly the reached
-          nodes *)
+          nodes; one bit per node so 10^8-node results stay small *)
   down : int list;
       (** node ids crashed (and not yet recovered) when the run stopped;
           [[]] without node faults *)
@@ -82,6 +82,7 @@ val run :
   ?on_round_end:(int -> unit) ->
   ?skew:(int -> int) ->
   ?monitor:Invariant.t ->
+  ?packed:bool ->
   rng:Rumor_rng.Rng.t ->
   topology:Topology.t ->
   protocol:'st Protocol.t ->
@@ -135,6 +136,12 @@ val run :
     {!Kernel}); installing [on_round_end] switches to a full per-round
     census so churn that mutates liveness stays correct. Both paths
     draw identical randomness and produce bit-identical results.
+
+    [packed] (default [true]) stores per-node protocol state in a flat
+    {!Cells.t} when the protocol declares {!Protocol.packed} ops — a
+    few bytes per node instead of a boxed record — with bit-identical
+    results; [~packed:false] forces the boxed representation (see the
+    packed-state section on {!Kernel}).
     @raise Invalid_argument if [sources] is empty or contains a dead or
     out-of-range id. *)
 
@@ -159,10 +166,11 @@ val run_epochs :
   ?skew:(int -> int) ->
   ?max_epochs:int ->
   ?monitor:Invariant.t ->
+  ?packed:bool ->
   rng:Rumor_rng.Rng.t ->
   topology:Topology.t ->
   protocol:'st Protocol.t ->
-  repair:(epoch:int -> knows:bool array -> 'r epoch_plan) ->
+  repair:(epoch:int -> knows:Bitset.t -> 'r epoch_plan) ->
   sources:int list ->
   unit ->
   result
@@ -180,7 +188,7 @@ val run_epochs :
     crashed nodes back up (between-epoch recovery), and perpetual
     mid-repair amnesia would make the total-coverage target
     unreachable by construction. [knows] is the current per-id informed
-    flag; treat it as read-only.
+    bitset; treat it as read-only.
 
     The returned result aggregates the whole healing run: [rounds],
     [push_tx], [pull_tx] and [channels] are cumulative across the main

@@ -11,7 +11,7 @@ type table_result = {
   informed : int;
   push_tx : int;
   pull_tx : int;
-  knows : bool array;
+  knows : Bitset.t;
 }
 
 type result = {
@@ -25,21 +25,85 @@ type result = {
 
 type gate = informed:bool -> node:int -> round:int -> bool
 
+(* Per-node protocol state behind an index-addressed store, so the
+   round loop is identical whether the state lives in an ['st array] of
+   boxed records (the general path) or in a flat [Cells.t] of int codes
+   (the packed path — a few bytes per node, which is what admits
+   n = 10^8). Closure dispatch costs one indirect call per operation,
+   the same price the boxed path already paid calling the protocol's
+   own closures. *)
+type store = {
+  s_init : int -> informed:bool -> unit;
+  s_decide : int -> round:int -> Protocol.decision;
+  s_receive : int -> round:int -> unit;
+  s_feedback : int -> round:int -> unit;
+  s_quiescent : int -> round:int -> bool;
+}
+
+let boxed_store (protocol : _ Protocol.t) cap =
+  let state = Array.init cap (fun _ -> protocol.Protocol.init ~informed:false) in
+  {
+    s_init = (fun v ~informed -> state.(v) <- protocol.Protocol.init ~informed);
+    s_decide = (fun v ~round -> protocol.Protocol.decide state.(v) ~round);
+    s_receive =
+      (fun v ~round -> state.(v) <- protocol.Protocol.receive state.(v) ~round);
+    s_feedback =
+      (fun v ~round -> state.(v) <- protocol.Protocol.feedback state.(v) ~round);
+    s_quiescent =
+      (fun v ~round -> protocol.Protocol.quiescent state.(v) ~round);
+  }
+
+let packed_store (p : Protocol.packed_ops) cap =
+  let cells = Cells.create (Cells.width_of_bits p.Protocol.bits) cap in
+  let uninformed = p.Protocol.p_init ~informed:false in
+  if uninformed <> 0 then Cells.fill cells uninformed;
+  {
+    s_init = (fun v ~informed -> Cells.set cells v (p.Protocol.p_init ~informed));
+    s_decide = (fun v ~round -> p.Protocol.p_decide (Cells.get cells v) ~round);
+    s_receive =
+      (fun v ~round ->
+        Cells.set cells v (p.Protocol.p_receive (Cells.get cells v) ~round));
+    s_feedback =
+      (fun v ~round ->
+        Cells.set cells v (p.Protocol.p_feedback (Cells.get cells v) ~round));
+    s_quiescent =
+      (fun v ~round -> p.Protocol.p_quiescent (Cells.get cells v) ~round);
+  }
+
+let store_of ~packed (protocol : _ Protocol.t) cap =
+  match (if packed then protocol.Protocol.packed else None) with
+  | Some pk -> packed_store pk.Protocol.ops cap
+  | None -> boxed_store protocol cap
+
 (* Per-rumor state. Every table owns its informed set, protocol state,
    decision cache, end-of-round receipt/feedback queues and accounting;
-   the round's channel set is shared by all of them. *)
-type 'st tstate = {
+   the round's channel set is shared by all of them.
+
+   Two staging representations coexist:
+
+   - [ordered] (boxed protocols): pending receipts and feedback targets
+     are queued in capacity-sized id arrays and applied in delivery
+     order — protocols whose [receive]/[feedback] draw randomness
+     (Demers coin variants) observe that order, so it is part of the
+     pinned randomness contract.
+   - packed protocols are rng-pure by contract, so delivery order is
+     unobservable; the ids live only in the [pending]/[dup_mark]
+     bitsets and are applied by an ascending word-parallel scan. No
+     capacity-sized word array is allocated per rumor. *)
+type tstate = {
   created : int;
   srcs : int list;
   informed : Bitset.t;
-  state : 'st array;
+  store : store;
+  ordered : bool;
   dec_push : Bitset.t;
   dec_pull : Bitset.t;
-  stamp : int array;
+  stamp : Cells.t;
   pending : Bitset.t;
   pending_ids : int array;
   mutable pending_len : int;
-  dups : int array;
+  dups : Cells.t;
+  dup_mark : Bitset.t;
   dup_ids : int array;
   mutable dup_len : int;
   mutable know : int;
@@ -53,7 +117,8 @@ type 'st tstate = {
 
 let run ?(fault = Stateless Fault.none) ?(collect_trace = false)
     ?(stop_when_complete = false) ?gate ?(forget_on_recover = false) ?reset
-    ?on_round_end ?skew ?monitor ~rng ~topology ~protocol ~tables () =
+    ?on_round_end ?skew ?monitor ?(packed = true) ~rng ~topology ~protocol
+    ~tables () =
   let open Topology in
   let open Protocol in
   let cap = topology.capacity in
@@ -110,20 +175,35 @@ let run ?(fault = Stateless Fault.none) ?(collect_trace = false)
   let census_incremental = on_round_end = None in
   let live = ref 0 in
   if census_incremental then live := Topology.alive_count topology;
+  let horizon =
+    let h = ref 0 in
+    Array.iter
+      (fun (t : table) ->
+        if t.created + protocol.horizon > !h then
+          h := t.created + protocol.horizon)
+      tables;
+    !h + max_skew
+  in
+  (* Receipt stamps hold round numbers in [1, horizon]: one byte for
+     the paper's O(log n) schedules, two up to 65535 rounds. *)
+  let stamp_width = Cells.width_for (max 1 horizon) in
+  let packed_on = packed && Option.is_some protocol.packed in
   let mk_table (spec : table) =
     {
       created = spec.created;
       srcs = spec.sources;
       informed = Bitset.create cap;
-      state = Array.init cap (fun _ -> protocol.init ~informed:false);
+      store = store_of ~packed protocol cap;
+      ordered = not packed_on;
       dec_push = Bitset.create cap;
       dec_pull = Bitset.create cap;
-      stamp = Array.make cap (-1);
+      stamp = Cells.create stamp_width cap;
       pending = Bitset.create cap;
-      pending_ids = Array.make cap 0;
+      pending_ids = (if packed_on then [||] else Array.make cap 0);
       pending_len = 0;
-      dups = Array.make cap 0;
-      dup_ids = Array.make cap 0;
+      dups = Cells.create Cells.W16 cap;
+      dup_mark = Bitset.create (if packed_on then cap else 0);
+      dup_ids = (if packed_on then [||] else Array.make cap 0);
       dup_len = 0;
       know = 0;
       down_informed = 0;
@@ -140,7 +220,7 @@ let run ?(fault = Stateless Fault.none) ?(collect_trace = false)
       (fun s ->
         if not (Bitset.get tb.informed s) then begin
           Bitset.set tb.informed s;
-          tb.state.(s) <- protocol.init ~informed:true;
+          tb.store.s_init s ~informed:true;
           if census_incremental && topology.alive s && active s then
             tb.know <- tb.know + 1
         end)
@@ -151,16 +231,18 @@ let run ?(fault = Stateless Fault.none) ?(collect_trace = false)
   let mark tb v =
     if not (Bitset.get tb.pending v) then begin
       Bitset.set tb.pending v;
-      tb.pending_ids.(tb.pending_len) <- v;
+      if tb.ordered then tb.pending_ids.(tb.pending_len) <- v;
       tb.pending_len <- tb.pending_len + 1
     end
   in
   let record_dup tb v =
-    if tb.dups.(v) = 0 then begin
-      tb.dup_ids.(tb.dup_len) <- v;
+    let c = Cells.get tb.dups v in
+    if c = 0 then begin
+      if tb.ordered then tb.dup_ids.(tb.dup_len) <- v
+      else Bitset.set tb.dup_mark v;
       tb.dup_len <- tb.dup_len + 1
     end;
-    tb.dups.(v) <- tb.dups.(v) + 1
+    Cells.set tb.dups v (c + 1)
   in
   let informed_any v =
     let rec go j = j < nt && (Bitset.get tbs.(j).informed v || go (j + 1)) in
@@ -198,7 +280,7 @@ let run ?(fault = Stateless Fault.none) ?(collect_trace = false)
             if census_incremental && Bitset.get tb.informed v then
               tb.down_informed <- tb.down_informed - 1;
             Bitset.clear tb.informed v;
-            tb.state.(v) <- protocol.init ~informed:false
+            tb.store.s_init v ~informed:false
           done)
     else if census_incremental then
       Some
@@ -224,18 +306,18 @@ let run ?(fault = Stateless Fault.none) ?(collect_trace = false)
     let logical = r - tb.created - skew_f v in
     let d =
       if logical < 1 then Protocol.silent
-      else protocol.decide tb.state.(v) ~round:logical
+      else tb.store.s_decide v ~round:logical
     in
     Bitset.assign tb.dec_push v d.push;
     Bitset.assign tb.dec_pull v d.pull;
-    tb.stamp.(v) <- r
+    Cells.set tb.stamp v r
   in
   let push_of tb v =
-    if tb.stamp.(v) <> !cur_round then decide_at tb v;
+    if Cells.get tb.stamp v <> !cur_round then decide_at tb v;
     Bitset.get tb.dec_push v
   in
   let pull_of tb v =
-    if tb.stamp.(v) <> !cur_round then decide_at tb v;
+    if Cells.get tb.stamp v <> !cur_round then decide_at tb v;
     Bitset.get tb.dec_pull v
   in
   (* Quiescence is a pure conjunction over informed live nodes, so the
@@ -246,7 +328,7 @@ let run ?(fault = Stateless Fault.none) ?(collect_trace = false)
      stops). *)
   let quiet_at tb r v =
     let logical = r + 1 - tb.created - skew_f v in
-    logical >= 1 && protocol.quiescent tb.state.(v) ~round:logical
+    logical >= 1 && tb.store.s_quiescent v ~round:logical
   in
   let table_quiet_fast tb r =
     if tb.created >= r then false
@@ -321,15 +403,6 @@ let run ?(fault = Stateless Fault.none) ?(collect_trace = false)
     !quiet
   in
   let trace = if collect_trace then Some (Trace.create ()) else None in
-  let horizon =
-    let h = ref 0 in
-    Array.iter
-      (fun tb ->
-        if tb.created + protocol.horizon > !h then
-          h := tb.created + protocol.horizon)
-      tbs;
-    !h + max_skew
-  in
   let total_channels = ref 0 in
   (* Invariant-monitor state: last round's per-table informed counts
      (monotonicity) — allocated only when a monitor is installed, so
@@ -406,19 +479,27 @@ let run ?(fault = Stateless Fault.none) ?(collect_trace = false)
       end
     done;
     (* Newly-informed sets were deferred so a node never forwards a
-       rumor in the round it first receives it; apply them now. *)
+       rumor in the round it first receives it; apply them now. The
+       ordered path replays delivery order from the id queue; the
+       packed path scans the pending bitset in ascending id order
+       (packed ops are rng-pure, so the order is unobservable). *)
     let newly_total = ref 0 in
     for j = 0 to nt - 1 do
       let tb = tbs.(j) in
       let newly = tb.pending_len in
-      for i = 0 to newly - 1 do
-        let v = tb.pending_ids.(i) in
-        Bitset.clear tb.pending v;
-        Bitset.set tb.informed v;
-        tb.state.(v) <-
-          protocol.receive tb.state.(v)
-            ~round:(max 0 (r - tb.created - skew_f v))
-      done;
+      if tb.ordered then
+        for i = 0 to newly - 1 do
+          let v = tb.pending_ids.(i) in
+          Bitset.clear tb.pending v;
+          Bitset.set tb.informed v;
+          tb.store.s_receive v ~round:(max 0 (r - tb.created - skew_f v))
+        done
+      else if newly > 0 then begin
+        Bitset.iter_set tb.pending (fun v ->
+            Bitset.set tb.informed v;
+            tb.store.s_receive v ~round:(max 0 (r - tb.created - skew_f v)));
+        Bitset.reset tb.pending
+      end;
       tb.pending_len <- 0;
       (* Every marked node was alive and active when marked (both are
          checked before a channel carries anything, and crashes land
@@ -429,14 +510,25 @@ let run ?(fault = Stateless Fault.none) ?(collect_trace = false)
     done;
     for j = 0 to nt - 1 do
       let tb = tbs.(j) in
-      for i = 0 to tb.dup_len - 1 do
-        let v = tb.dup_ids.(i) in
-        let logical = max 0 (r - tb.created - skew_f v) in
-        for _ = 1 to tb.dups.(v) do
-          tb.state.(v) <- protocol.feedback tb.state.(v) ~round:logical
-        done;
-        tb.dups.(v) <- 0
-      done;
+      if tb.ordered then begin
+        for i = 0 to tb.dup_len - 1 do
+          let v = tb.dup_ids.(i) in
+          let logical = max 0 (r - tb.created - skew_f v) in
+          for _ = 1 to Cells.get tb.dups v do
+            tb.store.s_feedback v ~round:logical
+          done;
+          Cells.set tb.dups v 0
+        done
+      end
+      else if tb.dup_len > 0 then begin
+        Bitset.iter_set tb.dup_mark (fun v ->
+            let logical = max 0 (r - tb.created - skew_f v) in
+            for _ = 1 to Cells.get tb.dups v do
+              tb.store.s_feedback v ~round:logical
+            done;
+            Cells.set tb.dups v 0);
+        Bitset.reset tb.dup_mark
+      end;
       tb.dup_len <- 0
     done;
     total_channels := !total_channels + !channels_now;
@@ -458,7 +550,7 @@ let run ?(fault = Stateless Fault.none) ?(collect_trace = false)
                   if active v then tb.know <- tb.know - 1
                   else tb.down_informed <- tb.down_informed - 1;
                 Bitset.clear tb.informed v;
-                tb.state.(v) <- protocol.init ~informed:false
+                tb.store.s_init v ~informed:false
               done)
           (f ())
     | None -> ());
@@ -600,7 +692,7 @@ let run ?(fault = Stateless Fault.none) ?(collect_trace = false)
             informed = tb.know;
             push_tx = tb.push_tx;
             pull_tx = tb.pull_tx;
-            knows = Bitset.to_bool_array tb.informed;
+            knows = tb.informed;
           })
         tbs;
   }
@@ -622,15 +714,15 @@ type 'st epoch_plan = {
 
 let run_epochs ?(fault = Fault.none) ?(collect_trace = false)
     ?(forget_on_recover = false) ?reset ?on_round_end ?skew ?(max_epochs = 8)
-    ?monitor ~rng ~topology ~protocol ~repair ~tables () =
+    ?monitor ?packed ~rng ~topology ~protocol ~repair ~tables () =
   if max_epochs < 0 then invalid_arg "Kernel.run_epochs: max_epochs < 0";
   let main =
     run ~fault:(Full fault) ~collect_trace ~forget_on_recover ?reset
-      ?on_round_end ?skew ?monitor ~rng ~topology ~protocol ~tables ()
+      ?on_round_end ?skew ?monitor ?packed ~rng ~topology ~protocol ~tables ()
   in
   let cap = topology.Topology.capacity in
   let nt = Array.length tables in
-  let knows = Array.init nt (fun j -> Array.copy main.tables.(j).knows) in
+  let knows = Array.init nt (fun j -> Bitset.copy main.tables.(j).knows) in
   (* Nodes still down when a run stops would come back up under the next
      epoch's fresh fault runtime; with amnesia their knowledge is gone. *)
   let forget_down r =
@@ -638,7 +730,7 @@ let run_epochs ?(fault = Fault.none) ?(collect_trace = false)
       List.iter
         (fun v ->
           for j = 0 to nt - 1 do
-            knows.(j).(v) <- false
+            Bitset.clear knows.(j) v
           done)
         r.down
   in
@@ -649,7 +741,7 @@ let run_epochs ?(fault = Fault.none) ?(collect_trace = false)
       if topology.Topology.alive v then begin
         incr live;
         for j = 0 to nt - 1 do
-          if knows.(j).(v) then know.(j) <- know.(j) + 1
+          if Bitset.get knows.(j) v then know.(j) <- know.(j) + 1
         done
       end
     done;
@@ -680,7 +772,7 @@ let run_epochs ?(fault = Fault.none) ?(collect_trace = false)
         Array.init nt (fun j ->
             let srcs = ref [] in
             for v = cap - 1 downto 0 do
-              if topology.Topology.alive v && knows.(j).(v) then
+              if topology.Topology.alive v && Bitset.get knows.(j) v then
                 srcs := v :: !srcs
             done;
             { sources = !srcs; created = 0 })
@@ -694,7 +786,7 @@ let run_epochs ?(fault = Fault.none) ?(collect_trace = false)
       let epoch_fault = { fault with Fault.crash_rate = 0.; strike = None } in
       let r =
         run ~fault:(Full epoch_fault) ~forget_on_recover
-          ~stop_when_complete:true ~gate:plan.epoch_gate ?monitor ~rng
+          ~stop_when_complete:true ~gate:plan.epoch_gate ?monitor ?packed ~rng
           ~topology ~protocol:plan.epoch_protocol ~tables:especs ()
       in
       (match monitor with
@@ -716,7 +808,7 @@ let run_epochs ?(fault = Fault.none) ?(collect_trace = false)
       let epoch_informed = ref max_int in
       for j = 0 to nt - 1 do
         let t = r.tables.(j) in
-        Array.blit t.knows 0 knows.(j) 0 cap;
+        Bitset.blit ~src:t.knows ~dst:knows.(j);
         acc_push.(j) <- acc_push.(j) + t.push_tx;
         acc_pull.(j) <- acc_pull.(j) + t.pull_tx;
         epoch_push := !epoch_push + t.push_tx;
@@ -769,16 +861,16 @@ type async_result = {
 }
 
 let run_async ?(fault = Fault.none) ?(stop_when_complete = false)
-    ?(collect_trace = false) ?on_round_end ?reset ?monitor ~rng ~graph
-    ~protocol ~sources () =
+    ?(collect_trace = false) ?on_round_end ?reset ?monitor ?(packed = true)
+    ~rng ~graph ~protocol ~sources () =
   let open Protocol in
   let n = Graph.n graph in
   let informed = Bitset.create n in
-  let state = Array.init n (fun _ -> protocol.init ~informed:false) in
+  let store = store_of ~packed protocol n in
   List.iter
     (fun s ->
       Bitset.set informed s;
-      state.(s) <- protocol.init ~informed:true)
+      store.s_init s ~informed:true)
     sources;
   let selector = Selector.make protocol.selector ~capacity:n in
   let scratch = Array.make (max (Selector.fanout protocol.selector) 1) 0 in
@@ -798,14 +890,14 @@ let run_async ?(fault = Fault.none) ?(stop_when_complete = false)
     let w = !witness in
     if
       w < n && Bitset.get informed w
-      && not (protocol.quiescent state.(w) ~round)
+      && not (store.s_quiescent w ~round)
     then false
     else begin
       let quiet = ref true in
       let v = ref 0 in
       while !quiet && !v < n do
         let u = !v in
-        if Bitset.get informed u && not (protocol.quiescent state.(u) ~round)
+        if Bitset.get informed u && not (store.s_quiescent u ~round)
         then begin
           quiet := false;
           witness := u
@@ -881,7 +973,7 @@ let run_async ?(fault = Fault.none) ?(stop_when_complete = false)
                 Bitset.clear informed v;
                 decr informed_count
               end;
-              state.(v) <- protocol.init ~informed:false
+              store.s_init v ~informed:false
             end)
           (f ())
     | None -> ()
@@ -899,12 +991,12 @@ let run_async ?(fault = Fault.none) ?(stop_when_complete = false)
     let round = !cur_round in
     if not (Bitset.get informed target) then begin
       Bitset.set informed target;
-      state.(target) <- protocol.receive state.(target) ~round;
+      store.s_receive target ~round;
       incr informed_count;
       incr unit_newly;
       if !informed_count = n then completion := Some !time
     end
-    else state.(sender) <- protocol.feedback state.(sender) ~round
+    else store.s_feedback sender ~round
   in
   let stop = ref false in
   while (not !stop) && !time < horizon do
@@ -924,7 +1016,7 @@ let run_async ?(fault = Fault.none) ?(stop_when_complete = false)
           if Fault.channel_ok fault rng then begin
             incr unit_channels;
             (* push: the activated caller transmits to the callee. *)
-            if Bitset.get informed v && (protocol.decide state.(v) ~round).push
+            if Bitset.get informed v && (store.s_decide v ~round).push
                && Fault.delivery_ok ~dir:`Push fault rng
             then begin
               incr transmissions;
@@ -932,7 +1024,7 @@ let run_async ?(fault = Fault.none) ?(stop_when_complete = false)
               deliver ~sender:v w
             end;
             (* pull: the callee answers the caller. *)
-            if Bitset.get informed w && (protocol.decide state.(w) ~round).pull
+            if Bitset.get informed w && (store.s_decide w ~round).pull
                && Fault.delivery_ok ~dir:`Pull fault rng
             then begin
               incr transmissions;

@@ -29,6 +29,26 @@
     and applies deliveries immediately (decisions are {e not} cached —
     feedback can change a node's mind within a logical round).
 
+    {2 Packed per-node state}
+
+    A protocol that declares {!Protocol.packed} ops stores its per-node
+    state as int codes in a flat {!Cells.t} (1–4 bytes per node)
+    instead of an ['st array] of boxed records, and its end-of-round
+    receipt/feedback staging lives in bitsets instead of capacity-sized
+    id queues — together with the {!Cells}-backed decision stamps and
+    duplicate tallies this takes a table from ~9 machine words per node
+    to a few bytes per node, which is what lets the paper's Algorithms
+    1/2 run at n = 10^8. The packed path applies staged receipts and
+    feedback in ascending node id order (a word-parallel bitset scan)
+    rather than in delivery order; packed ops are rng-pure by contract
+    (see {!Protocol.packed_ops}), so results are bit-identical to the
+    boxed path — a property the differential suite checks. Pass
+    [~packed:false] to force the boxed representation (differential
+    testing, debugging). Duplicate tallies are 16-bit: more than 65535
+    redundant deliveries to one node in one round raises
+    [Invalid_argument] (explicit failure, never a silent wrap), and
+    likewise a run whose horizon exceeds [2^32 - 1] rounds.
+
     {2 Randomness-order contract}
 
     Simulation results are pinned by golden tests, so the kernel draws
@@ -105,7 +125,7 @@ type table_result = {
   informed : int;  (** informed live nodes at the end of the run *)
   push_tx : int;  (** push transmissions of this rumor *)
   pull_tx : int;  (** pull transmissions of this rumor *)
-  knows : bool array;
+  knows : Bitset.t;
       (** final informed flag per node id (length = capacity) *)
 }
 
@@ -138,6 +158,7 @@ val run :
   ?on_round_end:(int -> unit) ->
   ?skew:(int -> int) ->
   ?monitor:Invariant.t ->
+  ?packed:bool ->
   rng:Rumor_rng.Rng.t ->
   topology:Topology.t ->
   protocol:'st Protocol.t ->
@@ -145,6 +166,9 @@ val run :
   unit ->
   result
 (** Run the synchronous round loop to the stopping rule above.
+    [packed] (default [true]) selects the compact {!Cells}-backed state
+    representation when the protocol declares packed ops; it has no
+    effect otherwise, and results are bit-identical either way.
 
     [fault] defaults to [Stateless Fault.none] (both modes of an empty
     plan draw nothing and behave identically). [gate], [skew],
@@ -200,17 +224,18 @@ val run_epochs :
   ?skew:(int -> int) ->
   ?max_epochs:int ->
   ?monitor:Invariant.t ->
+  ?packed:bool ->
   rng:Rumor_rng.Rng.t ->
   topology:Topology.t ->
   protocol:'st Protocol.t ->
-  repair:(epoch:int -> knows:bool array array -> 'r epoch_plan) ->
+  repair:(epoch:int -> knows:Bitset.t array -> 'r epoch_plan) ->
   tables:table array ->
   unit ->
   result * epoch_stat list
 (** Run the main schedule once (under [Full fault]), then — while some
     table has a live knower and a live non-knower, and at most
     [max_epochs] (default 8) times — ask [repair ~epoch ~knows] (one
-    [knows] array per table) for a fresh {!epoch_plan} and re-run the
+    [knows] bitset per table) for a fresh {!epoch_plan} and re-run the
     kernel with every current knower of each table as that table's
     sources and the plan's gate installed. Epochs keep the plan's
     communication modes but drop [crash_rate] / [strike]; see
@@ -241,6 +266,7 @@ val run_async :
   ?on_round_end:(int -> unit) ->
   ?reset:(unit -> int list) ->
   ?monitor:Invariant.t ->
+  ?packed:bool ->
   rng:Rumor_rng.Rng.t ->
   graph:Rumor_graph.Graph.t ->
   protocol:'st Protocol.t ->

@@ -61,20 +61,21 @@ let of_kernel ~repair (k : Kernel.result) =
   }
 
 let run ?(fault = Fault.none) ?collect_trace ?on_round_end ?reset ?monitor
-    ~rng ~topology ~protocol ~messages () =
+    ?packed ~rng ~topology ~protocol ~messages () =
   validate ~topology messages;
   of_kernel ~repair:[]
     (Kernel.run ~fault:(Kernel.Stateless fault) ?collect_trace ?on_round_end
-       ?reset ?monitor ~rng ~topology ~protocol ~tables:(tables_of messages)
-       ())
+       ?reset ?monitor ?packed ~rng ~topology ~protocol
+       ~tables:(tables_of messages) ())
 
 let run_epochs ?fault ?collect_trace ?forget_on_recover ?on_round_end ?reset
-    ?(max_epochs = 8) ?monitor ~rng ~topology ~protocol ~repair ~messages () =
+    ?(max_epochs = 8) ?monitor ?packed ~rng ~topology ~protocol ~repair
+    ~messages () =
   if max_epochs < 0 then invalid_arg "Multi.run_epochs: max_epochs < 0";
   validate ~topology messages;
   let k, stats =
     Kernel.run_epochs ?fault ?collect_trace ?forget_on_recover ?on_round_end
-      ?reset ~max_epochs ?monitor ~rng ~topology ~protocol ~repair
+      ?reset ~max_epochs ?monitor ?packed ~rng ~topology ~protocol ~repair
       ~tables:(tables_of messages) ()
   in
   of_kernel ~repair:stats k

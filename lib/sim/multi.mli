@@ -49,6 +49,7 @@ val run :
   ?on_round_end:(int -> unit) ->
   ?reset:(unit -> int list) ->
   ?monitor:Invariant.t ->
+  ?packed:bool ->
   rng:Rumor_rng.Rng.t ->
   topology:Topology.t ->
   protocol:'st Protocol.t ->
@@ -77,10 +78,11 @@ val run_epochs :
   ?reset:(unit -> int list) ->
   ?max_epochs:int ->
   ?monitor:Invariant.t ->
+  ?packed:bool ->
   rng:Rumor_rng.Rng.t ->
   topology:Topology.t ->
   protocol:'st Protocol.t ->
-  repair:(epoch:int -> knows:bool array array -> 'r Kernel.epoch_plan) ->
+  repair:(epoch:int -> knows:Bitset.t array -> 'r Kernel.epoch_plan) ->
   messages:message list ->
   unit ->
   result
@@ -88,7 +90,7 @@ val run_epochs :
     ({!Kernel.run_epochs}; the analogue of {!Engine.run_epochs}).
     Unlike {!run}, the main schedule and every epoch drive the whole
     plan through a fault runtime, so burst and crash modes apply.
-    [repair] receives one [knows] array per message (indexed like
+    [repair] receives one [knows] bitset per message (indexed like
     [messages]); each epoch restarts every rumor from all its current
     knowers with the plan's gate installed. The result aggregates
     rounds / channels / per-rumor transmissions across the main run

@@ -5,6 +5,21 @@ let push_only = { push = true; pull = false }
 let pull_only = { push = false; pull = true }
 let push_pull = { push = true; pull = true }
 
+type packed_ops = {
+  bits : int;
+  p_init : informed:bool -> int;
+  p_decide : int -> round:int -> decision;
+  p_receive : int -> round:int -> int;
+  p_feedback : int -> round:int -> int;
+  p_quiescent : int -> round:int -> bool;
+}
+
+type 'st packed = {
+  ops : packed_ops;
+  encode : 'st -> int;
+  decode : int -> 'st;
+}
+
 type 'st t = {
   name : string;
   selector : Selector.spec;
@@ -14,8 +29,13 @@ type 'st t = {
   receive : 'st -> round:int -> 'st;
   feedback : 'st -> round:int -> 'st;
   quiescent : 'st -> round:int -> bool;
+  packed : 'st packed option;
 }
 
 let no_feedback st ~round =
   ignore round;
   st
+
+let p_no_feedback code ~round =
+  ignore round;
+  code

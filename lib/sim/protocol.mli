@@ -25,6 +25,42 @@ val push_pull : decision
     instead of building fresh records — steady-state rounds then
     allocate nothing. *)
 
+type packed_ops = {
+  bits : int;  (** declared cell width: 8, 16 or 32 *)
+  p_init : informed:bool -> int;
+  p_decide : int -> round:int -> decision;
+  p_receive : int -> round:int -> int;
+  p_feedback : int -> round:int -> int;
+  p_quiescent : int -> round:int -> bool;
+}
+(** Int-coded protocol operations over packed per-node state.
+
+    Each function takes and returns the node's state as a non-negative
+    integer code that fits in [bits] bits; the kernel stores the codes
+    in a flat [Cells.t] (a few bytes per node) instead of an ['st
+    array] of boxed records, which is what lets [bef] run at n = 10^8.
+    The hot path works on codes directly — no decode/encode round trip,
+    no allocation per decision.
+
+    Contract: packed ops must be {e rng-pure} — they may not draw
+    randomness or carry hidden mutable state. The packed kernel path
+    applies end-of-round receipts and feedback in ascending node order
+    (a word-parallel bitset scan) rather than in delivery order, which
+    is only unobservable when the ops are pure. Protocols whose
+    [receive]/[feedback] draw (e.g. Demers coin variants) must not
+    declare packed ops. *)
+
+type 'st packed = {
+  ops : packed_ops;
+  encode : 'st -> int;
+  decode : int -> 'st;
+}
+(** Packed ops together with the code ↔ boxed-state bijection.
+    [encode]/[decode] are never called on the hot path; they exist so
+    differential tests can check that [ops] agrees with the boxed
+    functions through the encoding ([decode (p_receive (encode st)
+    ~round) = receive st ~round], and likewise for the rest). *)
+
 type 'st t = {
   name : string;  (** for reports and tables *)
   selector : Selector.spec;  (** how nodes choose whom to call *)
@@ -46,8 +82,17 @@ type 'st t = {
   quiescent : 'st -> round:int -> bool;
       (** [true] when an informed node will never transmit at any round
           [>= round]; lets the engine stop early *)
+  packed : 'st packed option;
+      (** optional compact-state path; [None] keeps the boxed ['st
+          array] representation. {b Warning:} a [{ p with decide = … }]
+          record update that changes any behaviour field must also
+          replace (or drop) [packed], or the packed path will silently
+          run the old behaviour. *)
 }
 (** A broadcast protocol with per-node state ['st]. *)
 
 val no_feedback : 'st -> round:int -> 'st
 (** The identity [feedback] for protocols that ignore the signal. *)
+
+val p_no_feedback : int -> round:int -> int
+(** The identity packed [p_feedback]. *)

@@ -22,6 +22,7 @@ let pusher ?(push = true) ?(pull = false) ~horizon () =
     receive = (fun _ ~round -> ignore round; true);
     feedback = Protocol.no_feedback;
     quiescent = (fun _ ~round -> round > horizon);
+    packed = None;
   }
 
 let run ?fault ?(pull = false) ?(push = true) ~graph ~horizon ~seed () =
@@ -303,6 +304,7 @@ let bounded_pusher ~push_until ~horizon =
     receive = (fun _ ~round -> ignore round; true);
     feedback = Protocol.no_feedback;
     quiescent = (fun _ ~round -> round > horizon);
+    packed = None;
   }
 
 let test_recovery_after_completion_needs_repair () =

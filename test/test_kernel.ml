@@ -275,7 +275,7 @@ let same_engine_ref (e : Engine.result) (f : Ref_engine.result) =
   && e.Engine.push_tx = f.Ref_engine.push_tx
   && e.Engine.pull_tx = f.Ref_engine.pull_tx
   && e.Engine.channels = f.Ref_engine.channels
-  && e.Engine.knows = f.Ref_engine.knows
+  && Rumor_sim.Bitset.to_bool_array e.Engine.knows = f.Ref_engine.knows
   && e.Engine.down = f.Ref_engine.down
 
 let same_engine_engine (a : Engine.result) (b : Engine.result) =
@@ -318,6 +318,81 @@ let engine_differential =
           in
           same_engine_ref incremental reference
           && same_engine_engine incremental full))
+
+(* Packed per-node state vs boxed arrays: for rng-pure protocols the
+   compact-cell kernel path must be bit-identical to the boxed one —
+   same rounds, same trajectories, same knows bitmap. The protocol pool
+   here deliberately spans every packed encoding in the tree: the
+   baseline received-round code, bef's phase machine, and the Feedback
+   counter variants with their two-counter stride packing. *)
+type packed_check = { check : 'st. 'st Protocol.t -> bool }
+
+let packed_protocol cfg { check } =
+  match cfg.pchoice with
+  | 0 -> check (Baselines.push_pull ~fanout:1 ~horizon:25 ())
+  | 1 -> check (Rumor_core.Feedback.feedback_counter ~k:2 ~horizon:25 ())
+  | 2 -> check (Rumor_core.Feedback.blind_counter ~k:3 ~horizon:25 ())
+  | _ ->
+      check
+        (Algorithm.make
+           (Params.make ~alpha:1.0 ~fanout:4 ~n_estimate:cfg.n ~d:cfg.d ()))
+
+let packed_boxed_differential =
+  QCheck.Test.make ~count:80
+    ~name:"Engine.run ~packed:true = Engine.run ~packed:false"
+    QCheck.small_int
+    (fun seed ->
+      let cfg = config_of_seed seed in
+      let g = graph_of cfg in
+      let topology = Topology.of_graph g in
+      let skew = if cfg.skewed then Some (fun v -> v mod 3) else None in
+      let sources = [ Rng.int (Rng.create (0x50 + seed)) (Graph.n g) ] in
+      packed_protocol cfg
+        {
+          check =
+            (fun protocol ->
+              let run packed =
+                Engine.run ~packed ?skew ~fault:cfg.fault
+                  ~stop_when_complete:cfg.stop
+                  ~rng:(Rng.create (0xF00D + seed))
+                  ~topology ~protocol ~sources ()
+              in
+              same_engine_engine (run true) (run false));
+        })
+
+(* The packed encode/decode pair is a bijection on reachable states:
+   round-tripping the codes the packed run actually produces recovers
+   the boxed state exactly. *)
+let packed_codec_roundtrip =
+  QCheck.Test.make ~count:120 ~name:"packed encode/decode round-trips"
+    QCheck.small_int
+    (fun seed ->
+      let cfg = config_of_seed seed in
+      packed_protocol cfg
+        {
+          check =
+            (fun protocol ->
+              match protocol.Protocol.packed with
+              | None -> false (* every pool protocol must carry packed ops *)
+              | Some p ->
+                  let ops = p.Protocol.ops in
+                  let codes =
+                    ops.Protocol.p_init ~informed:false
+                    :: ops.Protocol.p_init ~informed:true
+                    :: List.concat_map
+                         (fun round ->
+                           let c0 =
+                             ops.Protocol.p_receive
+                               (ops.Protocol.p_init ~informed:false)
+                               ~round
+                           in
+                           [ c0; ops.Protocol.p_feedback c0 ~round ])
+                         [ 1; 2; 7; 25 ]
+                  in
+                  List.for_all
+                    (fun c -> p.Protocol.encode (p.Protocol.decode c) = c)
+                    codes);
+        })
 
 (* A single rumor through Multi is the same simulation as Engine, as
    long as the plan only uses the communication modes both fault views
@@ -495,6 +570,8 @@ let () =
         List.map QCheck_alcotest.to_alcotest
           [
             engine_differential;
+            packed_boxed_differential;
+            packed_codec_roundtrip;
             multi_singleton_differential;
             multi_census_differential;
           ] );

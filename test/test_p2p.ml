@@ -394,6 +394,7 @@ let bounded_pusher ~push_until ~horizon =
     receive = (fun _ ~round -> ignore round; true);
     feedback = Rumor_sim.Protocol.no_feedback;
     quiescent = (fun _ ~round -> round > horizon);
+    packed = None;
   }
 
 let late_join_arm ~with_repair =
@@ -429,12 +430,12 @@ let test_late_join_needs_repair () =
   let bare, j = late_join_arm ~with_repair:false in
   Alcotest.(check bool) "a node joined" true (j >= 0);
   Alcotest.(check bool) "newcomer uninformed without repair" false
-    bare.Engine.knows.(j);
+    (Rumor_sim.Bitset.get bare.Engine.knows j);
   Alcotest.(check bool) "so the bare run fails" false (Engine.success bare);
   let healed, j' = late_join_arm ~with_repair:true in
   Alcotest.(check int) "same newcomer id" j j';
   Alcotest.(check bool) "newcomer informed under repair" true
-    healed.Engine.knows.(j');
+    (Rumor_sim.Bitset.get healed.Engine.knows j');
   Alcotest.(check bool) "healed run succeeds" true (Engine.success healed)
 
 (* --- qcheck properties --- *)

@@ -168,9 +168,8 @@ let prop_informed_subset_of_reachable =
       in
       let dist = Traversal.bfs g 0 in
       let sound = ref true in
-      Array.iteri
-        (fun v knows -> if knows && dist.(v) < 0 then sound := false)
-        res.Engine.knows;
+      Rumor_sim.Bitset.iter_set res.Engine.knows (fun v ->
+          if dist.(v) < 0 then sound := false);
       !sound)
 
 let prop_push_pull_covers_component =
@@ -192,7 +191,8 @@ let prop_push_pull_covers_component =
         (fun v d ->
           (* Reachable nodes with an edge can be reached by push&pull;
              isolated source (degree 0) trivially covers itself. *)
-          if d >= 0 && res.Engine.knows.(v) = false then complete := false)
+          if d >= 0 && not (Rumor_sim.Bitset.get res.Engine.knows v) then
+            complete := false)
         dist;
       !complete)
 

@@ -185,7 +185,11 @@ let test_validate_spec () =
   in
   ok quick_spec;
   bad "n too small" { quick_spec with Session.n = 1 };
-  bad "n too large" { quick_spec with Session.n = Session.max_n + 1 };
+  bad "n too large (materialised)"
+    { quick_spec with Session.topology = "regular"; n = Session.max_n + 1 };
+  ok { quick_spec with Session.n = Session.max_n + 2 };
+  bad "n beyond the implicit frontier"
+    { quick_spec with Session.n = Session.max_implicit_n + 2 };
   bad "odd n on implicit-regular" { quick_spec with Session.n = 257 };
   bad "degree" { quick_spec with Session.d = 0 };
   bad "unknown protocol" { quick_spec with Session.protocol = "udp" };

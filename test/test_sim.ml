@@ -24,6 +24,7 @@ let pusher ?(fanout = 1) ?(pull = false) ~horizon () =
     receive = (fun _ ~round -> ignore round; true);
     feedback = Protocol.no_feedback;
     quiescent = (fun _ ~round -> round > horizon);
+    packed = None;
   }
 
 let silent_protocol ~horizon =
@@ -36,6 +37,7 @@ let silent_protocol ~horizon =
     receive = (fun _ ~round -> ignore round; true);
     feedback = Protocol.no_feedback;
     quiescent = (fun _ ~round -> ignore round; false);
+    packed = None;
   }
 
 (* --- Topology --- *)
@@ -295,7 +297,7 @@ let test_engine_horizon_respected () =
 let test_engine_quiescent_early_stop () =
   (* Protocol quiescent from round 4 on: engine stops at round 3. *)
   let p = pusher ~horizon:100 () in
-  let p = { p with Protocol.quiescent = (fun _ ~round -> round > 3) } in
+  let p = { p with Protocol.quiescent = (fun _ ~round -> round > 3); packed = None } in
   let rng = Rng.create 9 in
   let res =
     Engine.run ~rng
@@ -337,9 +339,7 @@ let test_engine_trace_consistency () =
 
 let test_engine_knows_matches_informed () =
   let res = run_push ~graph:(Classic.complete 32) ~horizon:30 ~seed:11 () in
-  let know_count =
-    Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 res.Engine.knows
-  in
+  let know_count = Rumor_sim.Bitset.cardinal res.Engine.knows in
   Alcotest.(check int) "knows array consistent" res.Engine.informed know_count
 
 let test_engine_total_link_loss () =
