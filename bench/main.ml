@@ -44,6 +44,7 @@ module Metrics = Rumor_obs.Metrics
 module Encode = Rumor_obs.Encode
 module Chaos = Rumor_cli.Chaos
 module Scenario = Rumor_cli.Scenario
+module Matrix = Rumor_cli.Matrix
 
 let quick = ref false
 let reps_override : int option ref = ref None
@@ -99,11 +100,10 @@ type sweep_point = {
   per_seed_rounds : float list;  (** completion (or last) round per repetition *)
 }
 
-let sweep ?fault ?(stop = false) ~seed ~n ~d protocol_of =
-  let results =
-    Experiment.replicate_parallel ~domains:(domains ()) ~seed ~reps:(reps ()) (fun rng ->
-        run_once ?fault ~stop ~rng ~n ~d (protocol_of ()))
-  in
+(* Summaries over a list of raw engine results — shared between the
+   inline [sweep] loops and the matrix-file wrappers, so a migrated
+   experiment rebuilds exactly the numbers its loop used to print. *)
+let sweep_point_of ~n results =
   let per_seed_tx =
     List.map (fun r -> fin (Engine.transmissions r) /. fin n) results
   in
@@ -124,6 +124,78 @@ let sweep ?fault ?(stop = false) ~seed ~n ~d protocol_of =
     per_seed_tx;
     per_seed_rounds;
   }
+
+let sweep ?fault ?(stop = false) ~seed ~n ~d protocol_of =
+  sweep_point_of ~n
+    (Experiment.replicate_parallel ~domains:(domains ()) ~seed
+       ~reps:(reps ()) (fun rng ->
+         run_once ?fault ~stop ~rng ~n ~d (protocol_of ())))
+
+(* --- committed matrix files ---
+
+   The migrated experiments (E1, E7's loss x estimate grid, E8, A12,
+   A13) load their sweep grids from scenarios/matrix_*.txt instead of
+   hardcoded loops. The wrappers patch the committed file for
+   --quick/--reps (Matrix.set_base / Matrix.override_axis keep the
+   per-cell seed arithmetic of the full grid) and rebuild the
+   historical tables and JSON points from the raw per-cell engine
+   results, so the emitted records are bit-identical to the
+   pre-migration loops: same offset seeds, same streams, same
+   scalars. *)
+
+let scenarios_dir () =
+  if Sys.file_exists (Filename.concat "scenarios" "matrix_e1.txt") then
+    "scenarios"
+  else
+    (* `dune exec` may leave us in a sandbox cwd; walk up from the
+       executable (_build/default/bench/main.exe). *)
+    let cand =
+      Filename.concat
+        (Filename.dirname Sys.executable_name)
+        (Filename.concat ".." (Filename.concat ".." ".."))
+    in
+    let cand = Filename.concat cand "scenarios" in
+    if Sys.file_exists (Filename.concat cand "matrix_e1.txt") then cand
+    else failwith "cannot locate the scenarios/ directory"
+
+let load_matrix file =
+  match Matrix.parse_file (Filename.concat (scenarios_dir ()) file) with
+  | Ok spec -> spec
+  | Error m -> failwith (Printf.sprintf "%s: %s" file m)
+
+let patch_base spec ~key ~value =
+  match Matrix.set_base spec ~key ~value with
+  | Ok spec -> spec
+  | Error m -> failwith m
+
+let patch_axis spec ~key ~values =
+  match Matrix.override_axis spec ~key ~values with
+  | Ok spec -> spec
+  | Error m -> failwith m
+
+let run_matrix spec =
+  match Matrix.run ~domains:(domains ()) spec with
+  | Ok rr -> rr
+  | Error m -> failwith m
+
+(* The raw engine results of the cell whose coordinates contain every
+   (key, value) of [subset] — subset matching keeps the wrappers
+   independent of zip-key ordering inside [coords]. *)
+let results_where rr subset =
+  match
+    List.find_opt
+      (fun (o : Matrix.cell_outcome) ->
+        List.for_all
+          (fun kv -> List.mem kv o.Matrix.cell.Matrix.coords)
+          subset)
+      rr.Matrix.outcomes
+  with
+  | Some o when o.Matrix.results <> [] -> o.Matrix.results
+  | _ ->
+      failwith
+        (Printf.sprintf "matrix cell {%s} missing (truncated run?)"
+           (String.concat ", "
+              (List.map (fun (k, v) -> k ^ " = " ^ v) subset)))
 
 (* One sweep point as a JSON object: summaries plus the raw per-seed
    metrics, prefixed by caller-supplied parameter fields. *)
@@ -207,6 +279,20 @@ let e1_e2 () =
     if !quick then [ 1024; 4096; 16384 ]
     else [ 1024; 2048; 4096; 8192; 16384; 32768; 65536 ]
   in
+  (* The committed grid is the full 3 protocols x 7 sizes; --quick
+     shrinks the n axis in place (list positions keep the historical
+     100+i / 200+i / 300+i seeds the quick loops used). *)
+  let spec = load_matrix "matrix_e1.txt" in
+  let spec = patch_base spec ~key:"reps" ~value:(string_of_int (reps ())) in
+  let spec =
+    if !quick then
+      patch_axis spec ~key:"n" ~values:(List.map string_of_int sizes)
+    else spec
+  in
+  let rr = run_matrix spec in
+  let cell proto n =
+    results_where rr [ ("protocol", proto); ("n", string_of_int n) ]
+  in
   let t =
     Table.create
       ~columns:
@@ -222,21 +308,11 @@ let e1_e2 () =
         ]
   in
   let bef_pts = ref [] and push_pts = ref [] in
-  List.iteri
-    (fun i n ->
-      let bef =
-        sweep ~seed:(100 + i) ~n ~d (fun () ->
-            Algorithm.make (Params.make ~n_estimate:n ~d ()))
-      in
-      let push =
-        sweep ~stop:true ~seed:(200 + i) ~n ~d (fun () ->
-            Baselines.push ~horizon:(20 * Params.ceil_log2 n) ())
-      in
-      let lg = Params.ceil_log2 n in
-      let pp_age =
-        sweep ~seed:(300 + i) ~n ~d (fun () ->
-            Baselines.push_pull_age ~push_rounds:lg ~total_rounds:(3 * lg) ())
-      in
+  List.iter
+    (fun n ->
+      let bef = sweep_point_of ~n (cell "bef" n) in
+      let push = sweep_point_of ~n (cell "push" n) in
+      let pp_age = sweep_point_of ~n (cell "push-pull-age" n) in
       bef_pts := (fin n, bef.tx_per_node.Summary.mean) :: !bef_pts;
       push_pts := (fin n, push.tx_per_node.Summary.mean) :: !push_pts;
       record_point
@@ -553,6 +629,18 @@ let e7 () =
      transmissions, not an independent coin flip per message. *)
   let alpha = 2.0 in
   let burst_len = 4.0 in
+  (* The loss x estimate grid lives in scenarios/matrix_e7.txt (offset
+     seeds 900 + 10i + j); --quick only shrinks n. The scenario key
+     n_error is the estimate/n factor: ceil(n_error * n) equals the
+     historical int_of_float (n * factor) for these exact binary
+     factors at power-of-two n. *)
+  let spec = load_matrix "matrix_e7.txt" in
+  let spec = patch_base spec ~key:"reps" ~value:(string_of_int (reps ())) in
+  let spec =
+    if !quick then patch_base spec ~key:"n" ~value:(string_of_int n)
+    else spec
+  in
+  let rr = run_matrix spec in
   let t =
     Table.create
       ~columns:
@@ -564,20 +652,16 @@ let e7 () =
           ("rounds", Table.Right);
         ]
   in
-  List.iteri
-    (fun i loss ->
-      List.iteri
-        (fun j factor ->
-          let est = max 4 (int_of_float (fin n *. factor)) in
-          let fault =
-            if loss > 0. then Fault.plan ~burst:(Fault.burst ~loss ~burst_len) ()
-            else Fault.none
-          in
+  List.iter
+    (fun loss_s ->
+      List.iter
+        (fun factor_s ->
+          let loss = float_of_string loss_s
+          and factor = float_of_string factor_s in
           let st =
-            sweep ~fault
-              ~seed:(900 + (10 * i) + j)
-              ~n ~d
-              (fun () -> Algorithm.make (Params.make ~alpha ~n_estimate:est ~d ()))
+            sweep_point_of ~n
+              (results_where rr
+                 [ ("burst_loss", loss_s); ("n_error", factor_s) ])
           in
           record_point
             (sweep_point_json
@@ -598,8 +682,8 @@ let e7 () =
               Printf.sprintf "%.1f" st.tx_per_node.Summary.mean;
               Printf.sprintf "%.1f" st.rounds.Summary.mean;
             ])
-        [ 0.125; 0.25; 1.; 4.; 8. ])
-    [ 0.; 0.05; 0.1; 0.2 ];
+        [ "0.125"; "0.25"; "1"; "4"; "8" ])
+    [ "0"; "0.05"; "0.1"; "0.2" ];
   Table.print t;
   (* Adversarial crash schedules on top of 10% bursty loss. *)
   let t2 =
@@ -672,48 +756,27 @@ let e8 () =
   section "E8"
     "self-healing frontier: fault x churn grid, repair epochs on/off";
   let n = if !quick then 2048 else 8192 in
-  let d = 8 in
+  (* The fault x churn x repair grid lives in scenarios/matrix_e8.txt:
+     the three fault storms are one axis (burst_len / crash_rate /
+     recover_rate zipped onto burst_loss), churn_rate the second,
+     max_epochs (0 = bare, 8 = repair) the third — the repair axis
+     carries no seed stride, so both arms of a (fault, churn) cell run
+     on identical storms, exactly as the old loops reused one seed. *)
+  let spec = load_matrix "matrix_e8.txt" in
+  let spec = patch_base spec ~key:"reps" ~value:(string_of_int (reps ())) in
+  let spec =
+    if !quick then patch_base spec ~key:"n" ~value:(string_of_int n)
+    else spec
+  in
+  let rr = run_matrix spec in
   let faults =
     [
-      ("none", Fault.none);
-      ( "burst 0.2 + crash",
-        Fault.plan
-          ~burst:(Fault.burst ~loss:0.2 ~burst_len:4.)
-          ~crash_rate:0.01 ~recover_rate:0.25 () );
-      ( "burst 0.3 + crash",
-        Fault.plan
-          ~burst:(Fault.burst ~loss:0.3 ~burst_len:6.)
-          ~crash_rate:0.01 ~recover_rate:0.25 () );
+      ("none", "0");
+      ("burst 0.2 + crash", "0.2");
+      ("burst 0.3 + crash", "0.3");
     ]
   in
-  let churn_rates = [ 0.; 0.005; 0.02 ] in
-  let config = Rumor_core.Repair.config ~n () in
-  let run_cell ~fault ~ops_per_round ~with_repair rng =
-    let g = Regular.sample_connected ~rng ~n ~d Regular.Pairing in
-    let o = Overlay.of_graph ~capacity:(2 * n) g in
-    let protocol = Algorithm.make (Params.make ~alpha:2.0 ~n_estimate:n ~d ()) in
-    let joined = ref [] in
-    let on_round_end _ =
-      for _ = 1 to ops_per_round do
-        let ev = Churn.session o ~rng ~d ~join_prob:0.5 ~leave_prob:0.5 () in
-        match ev.Churn.joined with
-        | Some v -> joined := v :: !joined
-        | None -> ()
-      done
-    in
-    let reset () =
-      let l = !joined in
-      joined := [];
-      l
-    in
-    let topology = Overlay.to_topology o in
-    if with_repair then
-      Rumor_core.Repair.self_heal ~fault ~config ~reset ~on_round_end ~rng
-        ~topology ~protocol ~sources:[ 0 ] ()
-    else
-      Engine.run ~fault ~forget_on_recover:true ~reset ~on_round_end ~rng
-        ~topology ~protocol ~sources:[ 0 ] ()
-  in
+  let churn_rates = [ ("0", 0.); ("0.005", 0.005); ("0.02", 0.02) ] in
   let t =
     Table.create
       ~columns:
@@ -727,20 +790,20 @@ let e8 () =
           ("extinct", Table.Right);
         ]
   in
-  List.iteri
-    (fun i (fault_label, fault) ->
-      List.iteri
-        (fun j rate ->
-          let ops_per_round = int_of_float (rate *. fin n) in
-          let seed = 1000 + (10 * i) + j in
-          let cell with_repair =
-            Experiment.replicate_parallel ~domains:(domains ()) ~seed ~reps:(reps ())
-              (run_cell ~fault ~ops_per_round ~with_repair)
+  List.iter
+    (fun (fault_label, loss_s) ->
+      List.iter
+        (fun (rate_s, rate) ->
+          let cell epochs_s =
+            results_where rr
+              [
+                ("burst_loss", loss_s);
+                ("churn_rate", rate_s);
+                ("max_epochs", epochs_s);
+              ]
           in
-          (* Same seeds for both arms: the repair column answers "what
-             did the epochs add" on identical storms. *)
-          let bare = cell false in
-          let healed = cell true in
+          let bare = cell "0" in
+          let healed = cell "8" in
           (* A crashed-with-amnesia source can kill the rumor before it
              spreads; with no live knower left, no protocol can recover
              it, so extinct seeds are counted apart instead of dragging
@@ -1774,17 +1837,24 @@ let a12 () =
   section "A12" "extension: implicit seed-derived topology at n = 10^7";
   let n = if !quick then 1_000_000 else 10_000_000 in
   let d = 8 in
-  let rng = Rng.create 1207 in
-  let topology = Topology.implicit_regular ~seed:0x5CA1AB1E ~n ~d in
-  let horizon = 20 * Params.ceil_log2 n in
-  let protocol = Baselines.push_pull ~fanout:1 ~horizon () in
-  let res, span =
-    Metrics.timed (fun () ->
-        Engine.run ~stop_when_complete:true ~rng ~topology ~protocol
-          ~sources:[ Rng.int rng n ] ())
+  (* One gate-carrying scale cell from scenarios/matrix_a12.txt (the
+     per-node allocation and wall-clock budgets live there as expect
+     lines, checked by `rumor matrix` in CI). The scenario kernel draws
+     the view seed from the replication stream, so this record is a new
+     trajectory, not a bit-identical continuation of the fixed-seed
+     pre-migration cell. *)
+  let spec = load_matrix "matrix_a12.txt" in
+  let spec =
+    if !quick then patch_base spec ~key:"n" ~value:(string_of_int n)
+    else spec
   in
+  let rr = run_matrix spec in
+  let o = List.hd rr.Matrix.outcomes in
+  let res = List.hd o.Matrix.results in
+  let metric k = List.assoc k o.Matrix.metrics in
+  let wall_s = metric "wall_s" in
   let tx_per_node = fin (Engine.transmissions res) /. fin n in
-  let words_per_node = span.Metrics.minor_words /. fin n in
+  let words_per_node = metric "minor_words_per_node" in
   let t =
     Table.create
       ~columns:
@@ -1803,7 +1873,7 @@ let a12 () =
       string_of_int res.Engine.rounds;
       Printf.sprintf "%.4f" (Engine.coverage res);
       Printf.sprintf "%.2f" tx_per_node;
-      Printf.sprintf "%.2f" span.Metrics.wall_s;
+      Printf.sprintf "%.2f" wall_s;
       Printf.sprintf "%.2f" words_per_node;
     ];
   Table.print t;
@@ -1823,9 +1893,10 @@ let a12 () =
     | None -> Json.Null);
   record "coverage" (Json.Float (Engine.coverage res));
   record "tx_per_node" (Json.Float tx_per_node);
-  record "run_wall_s" (Json.Float span.Metrics.wall_s);
-  record "run_minor_words" (Json.Float span.Metrics.minor_words);
-  record "minor_words_per_node" (Json.Float words_per_node)
+  record "run_wall_s" (Json.Float wall_s);
+  record "run_minor_words" (Json.Float (words_per_node *. fin n));
+  record "minor_words_per_node" (Json.Float words_per_node);
+  record "gates_failed" (Json.Int (Matrix.gates_failed rr))
 
 (* A13: the paper's algorithm at the packed-state frontier — one [bef]
    broadcast over an implicit random-regular view, per-node protocol
@@ -1848,28 +1919,30 @@ let a13 () =
     | None -> if !quick then 1_000_000 else 10_000_000
   in
   let d = 8 in
-  let rng = Rng.create 1307 in
-  let topology = Topology.implicit_regular ~seed:0x0BEF5EED ~n ~d in
-  let protocol =
-    Algorithm.make (Params.make ~alpha:1.0 ~fanout:4 ~n_estimate:n ~d ())
+  (* The cell itself (bef over implicit-regular, packed per-node
+     state) comes from scenarios/matrix_a13.txt, allocation gates
+     included; only n is patched here for --quick / the env
+     override. *)
+  let spec = load_matrix "matrix_a13.txt" in
+  let spec =
+    if n <> 10_000_000 then patch_base spec ~key:"n" ~value:(string_of_int n)
+    else spec
   in
   (* VmHWM before the run: binary + implicit view, no per-node state
-     yet. The span's peak minus this is (an upper bound on) the run's
-     own footprint — the kernel tables plus GC slack. *)
+     yet. The post-run peak minus this is (an upper bound on) the
+     run's own footprint — the kernel tables plus GC slack. *)
   let rss0_kb = Metrics.peak_rss_kb () in
-  let heap0_words = (Gc.quick_stat ()).Gc.heap_words in
-  let res, span =
-    Metrics.timed (fun () ->
-        Engine.run ~rng ~topology ~protocol ~sources:[ Rng.int rng n ] ())
-  in
+  let rr = run_matrix spec in
+  let o = List.hd rr.Matrix.outcomes in
+  let res = List.hd o.Matrix.results in
+  let metric k = List.assoc k o.Matrix.metrics in
+  let wall_s = metric "wall_s" in
+  let protocol_name = Scenario.protocol_name o.Matrix.cell.Matrix.scenario in
   let tx_per_node = fin (Engine.transmissions res) /. fin n in
-  let words_per_node = span.Metrics.minor_words /. fin n in
-  let heap_bytes_per_node =
-    fin ((span.Metrics.heap_words - heap0_words) * 8) /. fin n
-  in
-  let rss_bytes_per_node =
-    fin ((span.Metrics.peak_rss_kb - rss0_kb) * 1024) /. fin n
-  in
+  let words_per_node = metric "minor_words_per_node" in
+  let heap_bytes_per_node = metric "heap_bytes_per_node" in
+  let peak_rss_kb = Metrics.peak_rss_kb () in
+  let rss_bytes_per_node = fin ((peak_rss_kb - rss0_kb) * 1024) /. fin n in
   let t =
     Table.create
       ~columns:
@@ -1890,7 +1963,7 @@ let a13 () =
       string_of_int res.Engine.rounds;
       Printf.sprintf "%.4f" (Engine.coverage res);
       Printf.sprintf "%.2f" tx_per_node;
-      Printf.sprintf "%.2f" span.Metrics.wall_s;
+      Printf.sprintf "%.2f" wall_s;
       Printf.sprintf "%.2f" words_per_node;
       Printf.sprintf "%.2f" heap_bytes_per_node;
       Printf.sprintf "%.2f" rss_bytes_per_node;
@@ -1901,10 +1974,10 @@ let a13 () =
      stamps + 16-bit duplicate\n\
     \ tallies + word-parallel bitsets — the boxed equivalent is ~9 words \
      = 72 bytes per node)\n"
-    protocol.Rumor_sim.Protocol.name;
+    protocol_name;
   record "n" (Json.Int n);
   record "d" (Json.Int d);
-  record "protocol" (Json.String protocol.Rumor_sim.Protocol.name);
+  record "protocol" (Json.String protocol_name);
   record "rounds" (Json.Int res.Engine.rounds);
   record "completion_round"
     (match res.Engine.completion_round with
@@ -1912,13 +1985,14 @@ let a13 () =
     | None -> Json.Null);
   record "coverage" (Json.Float (Engine.coverage res));
   record "tx_per_node" (Json.Float tx_per_node);
-  record "run_wall_s" (Json.Float span.Metrics.wall_s);
-  record "run_minor_words" (Json.Float span.Metrics.minor_words);
+  record "run_wall_s" (Json.Float wall_s);
+  record "run_minor_words" (Json.Float (words_per_node *. fin n));
   record "minor_words_per_node" (Json.Float words_per_node);
   record "heap_bytes_per_node" (Json.Float heap_bytes_per_node);
-  record "peak_rss_kb" (Json.Int span.Metrics.peak_rss_kb);
+  record "peak_rss_kb" (Json.Int peak_rss_kb);
   record "baseline_rss_kb" (Json.Int rss0_kb);
-  record "rss_bytes_per_node" (Json.Float rss_bytes_per_node)
+  record "rss_bytes_per_node" (Json.Float rss_bytes_per_node);
+  record "gates_failed" (Json.Int (Matrix.gates_failed rr))
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks.                                          *)

@@ -10,9 +10,10 @@
      heal        self-healing broadcast under a hostile fault+churn plan
      chaos       seeded soak over random fault configs, invariants on
      replay      re-run a chaos repro artifact and diff its digest
-     bench-check validate a BENCH_*.json telemetry file
+     bench-check validate a BENCH_*.json telemetry file, diff --against
      serve       gossip-session service over supervised worker domains
      load        fault-injecting load generator for a serve endpoint
+     matrix      declarative scenario sweep grids with regression gates
 
    broadcast, multi, async, sweep and robustness take --json to emit one
    structured JSON document on stdout instead of the human tables;
@@ -49,6 +50,9 @@ module Session = Rumor_serve.Session
 module Service = Rumor_serve.Service
 module Server = Rumor_serve.Server
 module Load = Rumor_serve.Load
+module Scenario = Rumor_cli.Scenario
+module Matrix = Rumor_cli.Matrix
+module Benchdoc = Rumor_obs.Benchdoc
 
 open Cmdliner
 
@@ -1473,12 +1477,31 @@ let bench_file_arg =
     & info [] ~docv:"BENCH.json"
         ~doc:"Bench record written by `bench/main.exe --json`.")
 
-(* Schema validation for rumor-bench/1 files. Every field checked here
-   is part of the contract between bench/main.ml, the BENCH_*.json
-   trajectory at the repo root and external diff tooling — a failure
-   means the schema rotted and the writer and this checker must be
-   updated together. *)
-let bench_check path =
+let against_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "against" ] ~docv:"BASELINE.json"
+        ~doc:
+          "Regression baseline: after validating, diff matrix experiments \
+           cell by cell against this rumor-bench/1 file and fail on drift \
+           beyond $(b,--tolerance).")
+
+let tolerance_arg =
+  Arg.(
+    value & opt float 10.
+    & info [ "tolerance" ] ~docv:"PCT"
+        ~doc:
+          "Allowed relative drift per diffable metric, in percent (only \
+           meaningful with $(b,--against)).")
+
+(* Schema validation (and, with --against, regression diffing) of
+   rumor-bench/1 files; the checks live in {!Rumor_obs.Benchdoc} so the
+   test suite pins them. Exit codes: 0 clean; 1 for a schema-valid but
+   vacuous document (empty experiments — a broken matrix run must not
+   green a gate) or a regression against the baseline; 2 for malformed
+   documents and IO errors. *)
+let bench_check path against tolerance =
   let read_file p =
     let ic = open_in_bin p in
     let len = in_channel_length ic in
@@ -1486,64 +1509,66 @@ let bench_check path =
     close_in ic;
     s
   in
-  let errors = ref [] in
-  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
-  (match Json.of_string (read_file path) with
-  | Error e -> err "does not parse: %s" e
-  | Ok top ->
-      (match Option.bind (Json.member "schema" top) Json.to_string_opt with
-      | Some "rumor-bench/1" -> ()
-      | Some other -> err "unknown schema %S" other
-      | None -> err "missing \"schema\"");
-      List.iter
-        (fun field ->
-          if Json.member field top = None then err "missing %S" field)
-        [ "created_unix"; "git"; "ocaml"; "argv"; "quick"; "reps" ];
-      (match Option.bind (Json.member "experiments" top) Json.to_list with
-      | None -> err "missing \"experiments\" array"
-      | Some [] -> err "\"experiments\" is empty"
-      | Some exps ->
-          List.iteri
-            (fun i e ->
-              let id =
-                match
-                  Option.bind (Json.member "id" e) Json.to_string_opt
-                with
-                | Some id -> id
-                | None ->
-                    err "experiment %d: missing \"id\"" i;
-                    Printf.sprintf "#%d" i
+  let load p =
+    match Json.of_string (read_file p) with
+    | Error e ->
+        Printf.eprintf "%s: does not parse: %s\n" p e;
+        Error 2
+    | Ok doc -> (
+        match Benchdoc.validate doc with
+        | [] -> Ok doc
+        | es ->
+            List.iter
+              (fun e ->
+                Printf.eprintf "%s: %s\n" p (Benchdoc.error_to_string e))
+              es;
+            if List.for_all (fun e -> e = Benchdoc.Empty_experiments) es then
+              Error 1
+            else Error 2)
+  in
+  match load path with
+  | Error code -> code
+  | Ok candidate -> (
+      match against with
+      | None ->
+          Printf.printf "%s: valid rumor-bench/1 file\n" path;
+          0
+      | Some bpath -> (
+          match load bpath with
+          | Error _ -> 2 (* a broken baseline is a setup error, not a diff *)
+          | Ok baseline ->
+              let r =
+                Benchdoc.diff ~baseline ~candidate ~tolerance_pct:tolerance
               in
               List.iter
-                (fun field ->
-                  match Option.bind (Json.member field e) Json.to_float with
-                  | Some s when s >= 0. -> ()
-                  | Some _ -> err "%s: negative %S" id field
-                  | None -> err "%s: missing %S" id field)
-                [ "wall_s"; "cpu_s" ];
-              (match Json.member "gc" e with
-              | Some (Json.Obj _) -> ()
-              | _ -> err "%s: missing \"gc\" object" id);
-              match Json.member "data" e with
-              | Some (Json.Obj _) -> ()
-              | _ -> err "%s: missing \"data\" object" id)
-            exps));
-  match !errors with
-  | [] ->
-      Printf.printf "%s: valid rumor-bench/1 file\n" path;
-      0
-  | es ->
-      List.iter (fun m -> Printf.eprintf "%s: %s\n" path m) (List.rev es);
-      2
+                (fun n -> Printf.printf "note: %s\n" n)
+                r.Benchdoc.notes;
+              List.iter
+                (fun f -> Printf.eprintf "FAIL: %s\n" f)
+                r.Benchdoc.failures;
+              if r.Benchdoc.failures = [] then begin
+                Printf.printf "%s: within %.1f%% of %s\n" path tolerance
+                  bpath;
+                0
+              end
+              else begin
+                Printf.eprintf "%s: %d regression(s) against %s\n" path
+                  (List.length r.Benchdoc.failures)
+                  bpath;
+                1
+              end))
 
 let bench_check_cmd =
   let info =
     Cmd.info "bench-check"
       ~doc:
         "Validate that a telemetry file written by `bench/main.exe --json` \
-         conforms to the rumor-bench/1 schema."
+         or `rumor matrix --json` conforms to the rumor-bench/1 schema, and \
+         optionally diff its matrix experiments against a committed \
+         baseline ($(b,--against))."
   in
-  Cmd.v info Term.(const bench_check $ bench_file_arg)
+  Cmd.v info
+    Term.(const bench_check $ bench_file_arg $ against_arg $ tolerance_arg)
 
 (* --- serve: the gossip service frontend --- *)
 
@@ -1925,6 +1950,248 @@ let load_cmd =
       $ wedge_every_arg $ wedge_ms_arg $ settle_arg $ load_json_arg
       $ exp_id_arg)
 
+(* --- matrix: declarative scenario grids with gates --- *)
+
+let matrix_files_arg =
+  Arg.(
+    non_empty & pos_all file []
+    & info [] ~docv:"MATRIX"
+        ~doc:"Matrix scenario files; each becomes one experiment.")
+
+let matrix_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "Write a rumor-bench/1 document with one experiment per matrix \
+           file (feed it to `rumor bench-check --against`).")
+
+let dry_run_arg =
+  Arg.(
+    value & flag
+    & info [ "dry-run" ]
+        ~doc:
+          "Print each file's expanded cell table (coordinates, seeds, \
+           gates) and exit without running anything.")
+
+(* Service-mode cells: one [rumor load] run against an embedded server
+   over a socketpair. The cell's scenario keys shape the session spec,
+   its service keys the load generator; metric names match
+   {!Matrix.service_metrics}. *)
+let matrix_run_service (cell : Matrix.cell) =
+  let s = cell.Matrix.scenario in
+  let spec =
+    {
+      Session.default_spec with
+      Session.n = s.Scenario.n;
+      d = s.Scenario.d;
+      protocol = s.Scenario.protocol;
+      topology = s.Scenario.topology;
+      seed = cell.Matrix.cell_seed;
+      alpha = s.Scenario.alpha;
+      fanout = s.Scenario.fanout;
+      link_loss = s.Scenario.loss;
+      burst_loss = s.Scenario.burst_loss;
+      burst_len = s.Scenario.burst_len;
+    }
+  in
+  let spec =
+    match Session.validate_spec spec with
+    | Ok spec -> spec
+    | Error m ->
+        failwith
+          (Printf.sprintf "cell %d: invalid session spec: %s"
+             cell.Matrix.cell_index m)
+  in
+  let getf key default =
+    match List.assoc_opt key cell.Matrix.service with
+    | Some v -> float_of_string v
+    | None -> default
+  in
+  let geti key default =
+    match List.assoc_opt key cell.Matrix.service with
+    | Some v -> int_of_string v
+    | None -> default
+  in
+  let closed = geti "closed" 0 in
+  let cfg =
+    Load.cfg ~rate:(getf "rate" 100.) ~duration_s:(getf "duration_s" 10.)
+      ?closed:(if closed = 0 then None else Some closed)
+      ~spec ~crash_every:(geti "crash_every" 0)
+      ~wedge_every:(geti "wedge_every" 0)
+      ~wedge_ms:(getf "wedge_ms" 400.)
+      ~settle_timeout_s:(getf "settle_timeout_s" 30.)
+      ()
+  in
+  let service_config =
+    (* The breaker exists to stop pathological restart loops, not
+       deliberate crash injection — size it to the injected cadence. *)
+    Service.config
+      ~workers:(geti "workers" 4)
+      ~max_restarts:(geti "max_restarts" 500)
+      ()
+  in
+  let r, server_clean = Load.run_in_process ~service_config cfg in
+  let q p = Latency.quantile r.Load.latency p *. 1e3 in
+  let i name v = (name, float_of_int v) in
+  [
+    ("wall_s", r.Load.wall_s);
+    i "submitted" r.Load.submitted;
+    i "accepted" r.Load.accepted;
+    i "completed" r.Load.completed;
+    i "failed" r.Load.failed;
+    i "rejected" r.Load.rejected;
+    i "shed" r.Load.shed;
+    i "degraded" r.Load.degraded;
+    i "cancelled" r.Load.cancelled;
+    i "lost" r.Load.lost;
+    i "unacked" r.Load.unacked;
+    i "protocol_errors" r.Load.protocol_errors;
+    ("achieved_rate", r.Load.achieved_rate);
+    ("p50_ms", q 0.5);
+    ("p99_ms", q 0.99);
+    ("server_ok", if server_clean && r.Load.server_ok then 1. else 0.);
+  ]
+
+let matrix files json_path dry_run domains =
+  let domains = if domains = 0 then None else Some domains in
+  let rec parse_all acc = function
+    | [] -> Ok (List.rev acc)
+    | f :: rest -> (
+        match Matrix.parse_file f with
+        | Error m -> Error (Printf.sprintf "%s: %s" f m)
+        | Ok spec -> parse_all ((f, spec) :: acc) rest)
+  in
+  match parse_all [] files with
+  | Error m ->
+      prerr_endline ("rumor matrix: " ^ m);
+      2
+  | Ok specs when dry_run ->
+      let bad = ref false in
+      List.iter
+        (fun (f, spec) ->
+          match Matrix.dry_run_table spec with
+          | Ok table -> Printf.printf "# %s\n%s\n" f table
+          | Error m ->
+              bad := true;
+              Printf.eprintf "rumor matrix: %s: %s\n" f m)
+        specs;
+      if !bad then 2 else 0
+  | Ok specs ->
+      Experiment.with_interrupt_signals (fun () ->
+          let errored = ref false in
+          let any_truncated = ref false in
+          let total_gates_failed = ref 0 in
+          let experiments =
+            List.filter_map
+              (fun (f, spec) ->
+                match
+                  Obs_metrics.timed (fun () ->
+                      Matrix.run ?domains ~run_service:matrix_run_service
+                        spec)
+                with
+                | exception Failure m ->
+                    errored := true;
+                    Printf.eprintf "rumor matrix: %s: %s\n" f m;
+                    None
+                | Error m, _ ->
+                    errored := true;
+                    Printf.eprintf "rumor matrix: %s: %s\n" f m;
+                    None
+                | Ok rr, span ->
+                    let failed = Matrix.gates_failed rr in
+                    total_gates_failed := !total_gates_failed + failed;
+                    if rr.Matrix.truncated then any_truncated := true;
+                    Printf.printf
+                      "%s: %s — %d cells, %d gate failure(s)%s\n" f
+                      rr.Matrix.spec.Matrix.id
+                      (List.length rr.Matrix.outcomes)
+                      failed
+                      (if rr.Matrix.truncated then " (truncated)" else "");
+                    List.iter
+                      (fun (o : Matrix.cell_outcome) ->
+                        List.iter
+                          (fun (g, observed, pass) ->
+                            if not pass then
+                              Printf.printf
+                                "  FAIL cell %d {%s}: %s %s %g, got %g\n"
+                                o.Matrix.cell.Matrix.cell_index
+                                (String.concat ", "
+                                   (List.map
+                                      (fun (k, v) -> k ^ " = " ^ v)
+                                      o.Matrix.cell.Matrix.coords))
+                                g.Matrix.metric
+                                (Matrix.op_to_string g.Matrix.op)
+                                g.Matrix.bound observed)
+                          o.Matrix.gate_results)
+                      rr.Matrix.outcomes;
+                    let span_fields =
+                      match Obs_metrics.span_to_json span with
+                      | Json.Obj fs -> fs
+                      | _ -> []
+                    in
+                    Some
+                      (Json.Obj
+                         (("id", Json.String rr.Matrix.spec.Matrix.id)
+                          :: ( "title",
+                               Json.String rr.Matrix.spec.Matrix.title )
+                          :: span_fields
+                         @ [ ("data", Matrix.data_json rr) ])))
+              specs
+          in
+          (match json_path with
+          | None -> ()
+          | Some path ->
+              let reps =
+                List.fold_left
+                  (fun acc (_, spec) ->
+                    max acc spec.Matrix.base.Scenario.reps)
+                  1 specs
+              in
+              let top =
+                Json.Obj
+                  [
+                    ("schema", Json.String "rumor-bench/1");
+                    ("created_unix", Json.Float (Unix.gettimeofday ()));
+                    ("git", git_describe ());
+                    ("ocaml", Json.String Sys.ocaml_version);
+                    ("word_size", Json.Int Sys.word_size);
+                    ( "argv",
+                      Json.List
+                        (List.map
+                           (fun a -> Json.String a)
+                           (Array.to_list Sys.argv)) );
+                    ("quick", Json.Bool false);
+                    ("reps", Json.Int reps);
+                    ("truncated", Json.Bool !any_truncated);
+                    ("experiments", Json.List experiments);
+                  ]
+              in
+              let oc = open_out path in
+              Json.to_channel ~minify:false oc top;
+              close_out oc;
+              Printf.printf "wrote %s\n" path);
+          if !errored then 2
+          else if !total_gates_failed > 0 || !any_truncated then 1
+          else 0)
+
+let matrix_cmd =
+  let info =
+    Cmd.info "matrix"
+      ~doc:
+        "Run declarative scenario matrices: sweep/zip grids over scenario \
+         keys, per-cell seeds, expectation gates, one shared domain pool \
+         across cells. Emits a rumor-bench/1 document for regression \
+         diffing with `rumor bench-check --against`. Exit 0: all gates \
+         pass; 1: gate failures or an interrupted (truncated) run; 2: \
+         parse or setup errors."
+  in
+  Cmd.v info
+    Term.(
+      const matrix $ matrix_files_arg $ matrix_json_arg $ dry_run_arg
+      $ domains_arg)
+
 (* --- main --- *)
 
 let () =
@@ -1953,4 +2220,5 @@ let () =
             bench_check_cmd;
             serve_cmd;
             load_cmd;
+            matrix_cmd;
           ]))

@@ -35,10 +35,13 @@ type t = {
   partition_fraction : float;
   join_prob : float;
   leave_prob : float;
+  churn_rate : float;
   n_error : float;
   repair_timeout : int;
   repair_backoff : int;
   max_epochs : int;
+  stop : string;
+  source : string;
   reps : int;
   domains : int;
   packed : bool;
@@ -68,10 +71,13 @@ let default =
     partition_fraction = 0.5;
     join_prob = 0.;
     leave_prob = 0.;
+    churn_rate = -1.;
     n_error = 1.;
     repair_timeout = 2;
     repair_backoff = 8;
     max_epochs = 0;
+    stop = "auto";
+    source = "random";
     reps = 5;
     domains = 0;
     packed = true;
@@ -91,57 +97,217 @@ let is_implicit topology =
    implicit views are viable. 2^22 nodes at d = 8 is already a ~260 MB
    build. *)
 let materialise_cap = 1 lsl 22
-let protocols = [ "bef"; "bef-seq"; "push"; "pull"; "push-pull"; "quasirandom" ]
+
+let protocols =
+  [ "bef"; "bef-seq"; "push"; "pull"; "push-pull"; "push-pull-age";
+    "quasirandom" ]
+
 let adversaries = [ "none"; "random"; "degree"; "frontier" ]
 
-let parse text =
-  let strip_comment s =
-    match String.index_opt s '#' with
-    | Some i -> String.sub s 0 i
-    | None -> s
+(* --- single-key assignment ---
+
+   [set_key] is the whole scalar surface of the scenario language: one
+   key, one raw value string, range checks included. It carries no line
+   information so the matrix runner can reuse it to build sweep cells;
+   [parse] wraps its errors with line numbers. *)
+
+let set_key acc ~key ~value : (t, string) result =
+  let parse_int v k =
+    match int_of_string_opt (String.trim v) with
+    | Some x -> k x
+    | None -> Error "expected an integer"
   in
+  let parse_float v k =
+    match float_of_string_opt (String.trim v) with
+    | Some x -> k x
+    | None -> Error "expected a number"
+  in
+  let err msg = Error msg in
+  let ok acc = Ok acc in
+  match key with
+  | "seed" -> parse_int value (fun x -> ok { acc with seed = x })
+  | "n" ->
+      parse_int value (fun x ->
+          if x < 4 then err "n must be >= 4" else ok { acc with n = x })
+  | "d" ->
+      parse_int value (fun x ->
+          if x < 1 then err "d must be >= 1" else ok { acc with d = x })
+  | "topology" ->
+      if List.mem value topologies then ok { acc with topology = value }
+      else err ("unknown topology: " ^ value)
+  | "protocol" ->
+      if List.mem value protocols then ok { acc with protocol = value }
+      else err ("unknown protocol: " ^ value)
+  | "alpha" ->
+      parse_float value (fun x ->
+          if x <= 0. then err "alpha must be positive"
+          else ok { acc with alpha = x })
+  | "fanout" ->
+      parse_int value (fun x ->
+          if x < 1 then err "fanout must be >= 1" else ok { acc with fanout = x })
+  | "loss" ->
+      parse_float value (fun x ->
+          if x < 0. || x > 1. then err "loss must be in [0, 1]"
+          else ok { acc with loss = x })
+  | "call_failure" ->
+      parse_float value (fun x ->
+          if x < 0. || x > 1. then err "call_failure must be in [0, 1]"
+          else ok { acc with call_failure = x })
+  | "burst_loss" ->
+      parse_float value (fun x ->
+          if x < 0. || x >= 1. then err "burst_loss must be in [0, 1)"
+          else ok { acc with burst_loss = x })
+  | "burst_len" ->
+      parse_float value (fun x ->
+          if x < 1. then err "burst_len must be >= 1"
+          else ok { acc with burst_len = x })
+  | "crash_rate" ->
+      parse_float value (fun x ->
+          if x < 0. || x > 1. then err "crash_rate must be in [0, 1]"
+          else ok { acc with crash_rate = x })
+  | "recover_rate" ->
+      parse_float value (fun x ->
+          if x < 0. || x > 1. then err "recover_rate must be in [0, 1]"
+          else ok { acc with recover_rate = x })
+  | "crash_adversary" ->
+      if List.mem value adversaries then ok { acc with crash_adversary = value }
+      else err ("unknown crash_adversary: " ^ value)
+  | "crash_count" ->
+      parse_int value (fun x ->
+          if x < 0 then err "crash_count must be >= 0"
+          else ok { acc with crash_count = x })
+  | "crash_round" ->
+      parse_int value (fun x ->
+          if x < 1 then err "crash_round must be >= 1"
+          else ok { acc with crash_round = x })
+  | "strike_every" ->
+      parse_int value (fun x ->
+          if x < 0 then err "strike_every must be >= 0 (0 = one-shot)"
+          else ok { acc with strike_every = x })
+  | "partition_round" ->
+      parse_int value (fun x ->
+          if x < 0 then err "partition_round must be >= 0 (0 = off)"
+          else ok { acc with partition_round = x })
+  | "heal_round" ->
+      parse_int value (fun x ->
+          if x < 0 then err "heal_round must be >= 0"
+          else ok { acc with heal_round = x })
+  | "partition_fraction" ->
+      parse_float value (fun x ->
+          if x < 0. || x > 1. then err "partition_fraction must be in [0, 1]"
+          else ok { acc with partition_fraction = x })
+  | "join_prob" ->
+      parse_float value (fun x ->
+          if x < 0. || x > 1. then err "join_prob must be in [0, 1]"
+          else ok { acc with join_prob = x })
+  | "leave_prob" ->
+      parse_float value (fun x ->
+          if x < 0. || x > 1. then err "leave_prob must be in [0, 1]"
+          else ok { acc with leave_prob = x })
+  | "churn_rate" ->
+      parse_float value (fun x ->
+          if x < 0. then err "churn_rate must be >= 0"
+          else ok { acc with churn_rate = x })
+  | "n_error" ->
+      parse_float value (fun x ->
+          if x <= 0. then err "n_error must be positive"
+          else ok { acc with n_error = x })
+  | "repair_timeout" ->
+      parse_int value (fun x ->
+          if x < 0 then err "repair_timeout must be >= 0"
+          else ok { acc with repair_timeout = x })
+  | "repair_backoff" ->
+      parse_int value (fun x ->
+          if x < 1 then err "repair_backoff must be >= 1"
+          else ok { acc with repair_backoff = x })
+  | "max_epochs" ->
+      parse_int value (fun x ->
+          if x < 0 then err "max_epochs must be >= 0"
+          else ok { acc with max_epochs = x })
+  | "stop" -> begin
+      match value with
+      | "auto" | "true" | "false" -> ok { acc with stop = value }
+      | _ -> err "stop must be auto, true or false"
+    end
+  | "source" -> begin
+      match value with
+      | "random" | "first" -> ok { acc with source = value }
+      | _ -> err "source must be random or first"
+    end
+  | "reps" ->
+      parse_int value (fun x ->
+          if x < 1 then err "reps must be >= 1" else ok { acc with reps = x })
+  | "domains" ->
+      parse_int value (fun x ->
+          if x < 0 then err "domains must be >= 0 (0 = auto)"
+          else ok { acc with domains = x })
+  | "packed" -> begin
+      match value with
+      | "true" -> ok { acc with packed = true }
+      | "false" -> ok { acc with packed = false }
+      | _ -> err "packed must be true or false"
+    end
+  | other -> err ("unknown key: " ^ other)
+
+(* Cross-key checks that only make sense once the whole file is read. *)
+let validate acc : (t, string) result =
+  if acc.burst_loss > acc.burst_len /. (acc.burst_len +. 1.) then
+    Error
+      (Printf.sprintf
+         "burst_loss %.2f is unrealisable with burst_len %.1f (max %.2f)"
+         acc.burst_loss acc.burst_len
+         (acc.burst_len /. (acc.burst_len +. 1.)))
+  else if acc.partition_round > 0 && acc.heal_round <= acc.partition_round then
+    Error
+      (Printf.sprintf "heal_round %d must be greater than partition_round %d"
+         acc.heal_round acc.partition_round)
+  else if
+    is_implicit acc.topology
+    && (acc.join_prob > 0. || acc.leave_prob > 0. || acc.churn_rate >= 0.)
+  then
+    Error
+      (Printf.sprintf
+         "churn (join_prob/leave_prob/churn_rate) needs a materialised \
+          overlay; topology %s computes its edges implicitly"
+         acc.topology)
+  else if acc.churn_rate >= 0. && (acc.join_prob > 0. || acc.leave_prob > 0.)
+  then
+    Error
+      "churn_rate (session churn at rate * n ops/round) and \
+       join_prob/leave_prob (one probabilistic session per round) are \
+       alternative churn models; set one or the other"
+  else if
+    (acc.topology = "implicit-regular"
+    || (acc.topology = "implicit-chords" && acc.d > 2))
+    && acc.n land 1 = 1
+  then
+    Error
+      (Printf.sprintf
+         "topology %s pairs nodes into perfect matchings and needs an even n \
+          (got %d)"
+         acc.topology acc.n)
+  else if not (is_implicit acc.topology) && acc.n > materialise_cap then
+    Error
+      (Printf.sprintf
+         "n = %d exceeds the materialised-graph cap of %d nodes; use \
+          implicit-regular, implicit-hypercube or implicit-chords for runs \
+          at this scale"
+         acc.n materialise_cap)
+  else Ok acc
+
+(* Scenario files are plain text but not always written on the host
+   that runs them: a trailing '\r' (CRLF files) and trailing blanks on
+   a [key = value] line are stripped before any token is cut, so the
+   same file parses on every platform. *)
+let strip_comment s =
+  match String.index_opt s '#' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+let parse text =
   let lines = String.split_on_char '\n' text in
   let rec go acc seen i = function
-    | [] ->
-        if acc.burst_loss > acc.burst_len /. (acc.burst_len +. 1.) then
-          Error
-            (Printf.sprintf
-               "burst_loss %.2f is unrealisable with burst_len %.1f (max %.2f)"
-               acc.burst_loss acc.burst_len
-               (acc.burst_len /. (acc.burst_len +. 1.)))
-        else if acc.partition_round > 0 && acc.heal_round <= acc.partition_round
-        then
-          Error
-            (Printf.sprintf
-               "heal_round %d must be greater than partition_round %d"
-               acc.heal_round acc.partition_round)
-        else if
-          is_implicit acc.topology
-          && (acc.join_prob > 0. || acc.leave_prob > 0.)
-        then
-          Error
-            (Printf.sprintf
-               "churn (join_prob/leave_prob) needs a materialised overlay; \
-                topology %s computes its edges implicitly"
-               acc.topology)
-        else if
-          (acc.topology = "implicit-regular"
-          || (acc.topology = "implicit-chords" && acc.d > 2))
-          && acc.n land 1 = 1
-        then
-          Error
-            (Printf.sprintf
-               "topology %s pairs nodes into perfect matchings and needs an \
-                even n (got %d)"
-               acc.topology acc.n)
-        else if not (is_implicit acc.topology) && acc.n > materialise_cap then
-          Error
-            (Printf.sprintf
-               "n = %d exceeds the materialised-graph cap of %d nodes; use \
-                implicit-regular, implicit-hypercube or implicit-chords for \
-                runs at this scale"
-               acc.n materialise_cap)
-        else Ok acc
+    | [] -> validate acc
     | raw :: rest -> begin
         let line = i + 1 in
         (* Every message names the line and quotes its raw text, so a
@@ -150,16 +316,6 @@ let parse text =
           Error
             (Printf.sprintf "line %d: %s (in %S)" line msg (String.trim raw))
         in
-        let parse_int v k =
-          match int_of_string_opt (String.trim v) with
-          | Some x -> k x
-          | None -> err "expected an integer"
-        in
-        let parse_float v k =
-          match float_of_string_opt (String.trim v) with
-          | Some x -> k x
-          | None -> err "expected a number"
-        in
         let s = String.trim (strip_comment raw) in
         if s = "" then go acc seen (i + 1) rest
         else
@@ -167,139 +323,19 @@ let parse text =
           | None -> err "expected 'key = value'"
           | Some eq -> begin
               let key = String.trim (String.sub s 0 eq) in
-              let value = String.trim (String.sub s (eq + 1) (String.length s - eq - 1)) in
+              let value =
+                String.trim (String.sub s (eq + 1) (String.length s - eq - 1))
+              in
               match List.assoc_opt key seen with
               | Some first ->
                   err
-                    (Printf.sprintf "duplicate key '%s' (already set on line %d)"
-                       key first)
+                    (Printf.sprintf
+                       "duplicate key '%s' (already set on line %d)" key first)
               | None -> begin
-              let seen = (key, line) :: seen in
-              let continue acc = go acc seen (i + 1) rest in
-              match key with
-              | "seed" -> parse_int value (fun x -> continue { acc with seed = x })
-              | "n" ->
-                  parse_int value (fun x ->
-                      if x < 4 then err "n must be >= 4"
-                      else continue { acc with n = x })
-              | "d" ->
-                  parse_int value (fun x ->
-                      if x < 1 then err "d must be >= 1"
-                      else continue { acc with d = x })
-              | "topology" ->
-                  if List.mem value topologies then continue { acc with topology = value }
-                  else err ("unknown topology: " ^ value)
-              | "protocol" ->
-                  if List.mem value protocols then continue { acc with protocol = value }
-                  else err ("unknown protocol: " ^ value)
-              | "alpha" ->
-                  parse_float value (fun x ->
-                      if x <= 0. then err "alpha must be positive"
-                      else continue { acc with alpha = x })
-              | "fanout" ->
-                  parse_int value (fun x ->
-                      if x < 1 then err "fanout must be >= 1"
-                      else continue { acc with fanout = x })
-              | "loss" ->
-                  parse_float value (fun x ->
-                      if x < 0. || x > 1. then err "loss must be in [0, 1]"
-                      else continue { acc with loss = x })
-              | "call_failure" ->
-                  parse_float value (fun x ->
-                      if x < 0. || x > 1. then err "call_failure must be in [0, 1]"
-                      else continue { acc with call_failure = x })
-              | "burst_loss" ->
-                  parse_float value (fun x ->
-                      if x < 0. || x >= 1. then
-                        err "burst_loss must be in [0, 1)"
-                      else continue { acc with burst_loss = x })
-              | "burst_len" ->
-                  parse_float value (fun x ->
-                      if x < 1. then err "burst_len must be >= 1"
-                      else continue { acc with burst_len = x })
-              | "crash_rate" ->
-                  parse_float value (fun x ->
-                      if x < 0. || x > 1. then
-                        err "crash_rate must be in [0, 1]"
-                      else continue { acc with crash_rate = x })
-              | "recover_rate" ->
-                  parse_float value (fun x ->
-                      if x < 0. || x > 1. then
-                        err "recover_rate must be in [0, 1]"
-                      else continue { acc with recover_rate = x })
-              | "crash_adversary" ->
-                  if List.mem value adversaries then
-                    continue { acc with crash_adversary = value }
-                  else err ("unknown crash_adversary: " ^ value)
-              | "crash_count" ->
-                  parse_int value (fun x ->
-                      if x < 0 then err "crash_count must be >= 0"
-                      else continue { acc with crash_count = x })
-              | "crash_round" ->
-                  parse_int value (fun x ->
-                      if x < 1 then err "crash_round must be >= 1"
-                      else continue { acc with crash_round = x })
-              | "strike_every" ->
-                  parse_int value (fun x ->
-                      if x < 0 then
-                        err "strike_every must be >= 0 (0 = one-shot)"
-                      else continue { acc with strike_every = x })
-              | "partition_round" ->
-                  parse_int value (fun x ->
-                      if x < 0 then
-                        err "partition_round must be >= 0 (0 = off)"
-                      else continue { acc with partition_round = x })
-              | "heal_round" ->
-                  parse_int value (fun x ->
-                      if x < 0 then err "heal_round must be >= 0"
-                      else continue { acc with heal_round = x })
-              | "partition_fraction" ->
-                  parse_float value (fun x ->
-                      if x < 0. || x > 1. then
-                        err "partition_fraction must be in [0, 1]"
-                      else continue { acc with partition_fraction = x })
-              | "join_prob" ->
-                  parse_float value (fun x ->
-                      if x < 0. || x > 1. then
-                        err "join_prob must be in [0, 1]"
-                      else continue { acc with join_prob = x })
-              | "leave_prob" ->
-                  parse_float value (fun x ->
-                      if x < 0. || x > 1. then
-                        err "leave_prob must be in [0, 1]"
-                      else continue { acc with leave_prob = x })
-              | "n_error" ->
-                  parse_float value (fun x ->
-                      if x <= 0. then err "n_error must be positive"
-                      else continue { acc with n_error = x })
-              | "repair_timeout" ->
-                  parse_int value (fun x ->
-                      if x < 0 then err "repair_timeout must be >= 0"
-                      else continue { acc with repair_timeout = x })
-              | "repair_backoff" ->
-                  parse_int value (fun x ->
-                      if x < 1 then err "repair_backoff must be >= 1"
-                      else continue { acc with repair_backoff = x })
-              | "max_epochs" ->
-                  parse_int value (fun x ->
-                      if x < 0 then err "max_epochs must be >= 0"
-                      else continue { acc with max_epochs = x })
-              | "reps" ->
-                  parse_int value (fun x ->
-                      if x < 1 then err "reps must be >= 1"
-                      else continue { acc with reps = x })
-              | "domains" ->
-                  parse_int value (fun x ->
-                      if x < 0 then err "domains must be >= 0 (0 = auto)"
-                      else continue { acc with domains = x })
-              | "packed" -> begin
-                  match value with
-                  | "true" -> continue { acc with packed = true }
-                  | "false" -> continue { acc with packed = false }
-                  | _ -> err "packed must be true or false"
+                  match set_key acc ~key ~value with
+                  | Error msg -> err msg
+                  | Ok acc -> go acc ((key, line) :: seen) (i + 1) rest
                 end
-              | other -> err ("unknown key: " ^ other)
-              end
             end
       end
   in
@@ -365,15 +401,35 @@ let make_topology ~rng ~topology ~n ~d =
 let make_protocol ?n_estimate ~protocol ~n ~d ~alpha ~fanout () =
   let est = match n_estimate with Some e -> max 4 e | None -> n in
   let params = Params.make ~alpha ~fanout ~n_estimate:est ~d () in
-  let horizon = 20 * Params.ceil_log2 (max n 2) in
+  let lg = Params.ceil_log2 (max n 2) in
+  let horizon = 20 * lg in
   match protocol with
   | "bef" -> Algorithm.make params
   | "bef-seq" -> Algorithm.sequentialised params
   | "push" -> Baselines.push ~fanout:1 ~horizon ()
   | "pull" -> Baselines.pull ~fanout:1 ~horizon ()
   | "push-pull" -> Baselines.push_pull ~fanout:1 ~horizon ()
+  | "push-pull-age" ->
+      Baselines.push_pull_age ~fanout:1 ~push_rounds:lg ~total_rounds:(3 * lg)
+        ()
   | "quasirandom" -> Baselines.quasirandom ~fanout:1 ~horizon
   | other -> failwith (Printf.sprintf "unknown protocol %S" other)
+
+let protocol_name t =
+  (make_protocol ~protocol:t.protocol ~n:t.n ~d:t.d ~alpha:t.alpha
+     ~fanout:t.fanout ())
+    .Rumor_sim.Protocol.name
+
+(* bef and bef-seq carry their own phase schedule (and push-pull-age
+   its age-out), so they run to quiescence; the open-ended baselines
+   stop at full coverage to keep their horizons from dominating. *)
+let effective_stop t =
+  match t.stop with
+  | "true" -> true
+  | "false" -> false
+  | _ ->
+      t.protocol <> "bef" && t.protocol <> "bef-seq"
+      && t.protocol <> "push-pull-age"
 
 let fault_plan t =
   let burst =
@@ -405,6 +461,124 @@ let fault_plan t =
   Fault.plan ~call_failure:t.call_failure ~link_loss:t.loss ?burst
     ~crash_rate:t.crash_rate ~recover_rate:t.recover_rate ?strike ?partition ()
 
+let repair_config scenario =
+  if scenario.max_epochs > 0 then
+    Some
+      (Repair.config ~timeout:scenario.repair_timeout
+         ~backoff_cap:(max scenario.repair_backoff 1)
+         ~max_epochs:scenario.max_epochs ~n:scenario.n ())
+  else None
+
+(* One repetition on one pre-forked stream — the unit the matrix
+   runner schedules onto its shared domain pool. The draw order (graph
+   or view sample, then source, then engine) is a compatibility
+   contract: a cell run here must be bit-identical to the same seed
+   run through [run] or the historical bench loops. *)
+let run_rep scenario rng =
+  let fault = fault_plan scenario in
+  let stop = effective_stop scenario in
+  let repair_config = repair_config scenario in
+  if is_implicit scenario.topology then begin
+    (* No graph is ever built: the kernel walks seed-derived
+       neighbour functions, so this path scales to n = 10^7+.
+       Churn is rejected at parse time (implicit views have a
+       fixed id space); every other fault key composes, since
+       faults mutate liveness, never edges. *)
+    let topology =
+      make_topology ~rng ~topology:scenario.topology ~n:scenario.n
+        ~d:scenario.d
+    in
+    let n_real = topology.Rumor_sim.Topology.capacity in
+    let n_estimate =
+      int_of_float (ceil (scenario.n_error *. float_of_int n_real))
+    in
+    let p =
+      make_protocol ~n_estimate ~protocol:scenario.protocol ~n:n_real
+        ~d:scenario.d ~alpha:scenario.alpha ~fanout:scenario.fanout ()
+    in
+    let source =
+      if scenario.source = "first" then 0 else Rng.int rng n_real
+    in
+    match repair_config with
+    | Some config ->
+        Repair.self_heal ~fault ~config ~packed:scenario.packed ~rng ~topology
+          ~protocol:p ~sources:[ source ] ()
+    | None ->
+        Engine.run ~fault ~stop_when_complete:stop ~packed:scenario.packed
+          ~rng ~topology ~protocol:p ~sources:[ source ] ()
+  end
+  else
+    let g =
+      make_graph ~rng ~topology:scenario.topology ~n:scenario.n ~d:scenario.d
+    in
+    let n_real = Graph.n g in
+    let n_estimate =
+      int_of_float (ceil (scenario.n_error *. float_of_int n_real))
+    in
+    let p =
+      make_protocol ~n_estimate ~protocol:scenario.protocol ~n:n_real
+        ~d:scenario.d ~alpha:scenario.alpha ~fanout:scenario.fanout ()
+    in
+    let source =
+      if scenario.source = "first" then 0 else Run_.random_source rng g
+    in
+    let churn_on =
+      scenario.churn_rate >= 0. || scenario.join_prob > 0.
+      || scenario.leave_prob > 0.
+    in
+    if churn_on then begin
+      (* Session churn mutates an overlay copy of the graph; ids
+         handed out for joins are reset to uninformed. Extra
+         capacity leaves room for joins beyond the initial size. *)
+      let o = Overlay.of_graph ~capacity:(2 * n_real) g in
+      let topology = Overlay.to_topology o in
+      let joined = ref [] in
+      let note ev =
+        match ev.Churn.joined with
+        | Some v -> joined := v :: !joined
+        | None -> ()
+      in
+      let on_round_end _ =
+        if scenario.churn_rate >= 0. then
+          (* Rate churn: churn_rate * n symmetric sessions per round,
+             the model of the self-healing frontier (E8). *)
+          let ops =
+            int_of_float (scenario.churn_rate *. float_of_int n_real)
+          in
+          for _ = 1 to ops do
+            note
+              (Churn.session o ~rng ~d:scenario.d ~join_prob:0.5
+                 ~leave_prob:0.5 ())
+          done
+        else
+          note
+            (Churn.session o ~rng ~d:scenario.d ~join_prob:scenario.join_prob
+               ~leave_prob:scenario.leave_prob ())
+      in
+      let reset () =
+        let l = !joined in
+        joined := [];
+        l
+      in
+      match repair_config with
+      | Some config ->
+          Repair.self_heal ~fault ~config ~reset ~on_round_end
+            ~packed:scenario.packed ~rng ~topology ~protocol:p
+            ~sources:[ source ] ()
+      | None ->
+          Engine.run ~fault ~forget_on_recover:true ~reset ~on_round_end
+            ~stop_when_complete:stop ~packed:scenario.packed ~rng ~topology
+            ~protocol:p ~sources:[ source ] ()
+    end
+    else
+      match repair_config with
+      | Some config ->
+          Repair.heal ~fault ~config ~packed:scenario.packed ~rng ~graph:g
+            ~protocol:p ~source ()
+      | None ->
+          Run_.once ~fault ~stop_when_complete:stop ~packed:scenario.packed
+            ~rng ~graph:g ~protocol:p ~source ()
+
 type report = {
   scenario : t;
   protocol_name : string;
@@ -416,124 +590,19 @@ type report = {
   repair_tx_per_node : Summary.t;
 }
 
-let run scenario =
-  let fault = fault_plan scenario in
-  let stop = scenario.protocol <> "bef" && scenario.protocol <> "bef-seq" in
-  let repair_config =
-    if scenario.max_epochs > 0 then
-      Some
-        (Repair.config ~timeout:scenario.repair_timeout
-           ~backoff_cap:(max scenario.repair_backoff 1)
-           ~max_epochs:scenario.max_epochs ~n:scenario.n ())
-    else None
-  in
-  let protocol_name = ref "" in
-  let domains =
-    if scenario.domains >= 1 then scenario.domains
-    else Experiment.default_domains ()
-  in
-  let results =
-    (* Bit-identical to sequential replication: streams are pre-forked
-       per repetition. The [protocol_name] write races across domains
-       but every repetition writes the same name. *)
-    Experiment.replicate_parallel ~domains ~seed:scenario.seed
-      ~reps:scenario.reps (fun rng ->
-        if is_implicit scenario.topology then begin
-          (* No graph is ever built: the kernel walks seed-derived
-             neighbour functions, so this path scales to n = 10^7+.
-             Churn is rejected at parse time (implicit views have a
-             fixed id space); every other fault key composes, since
-             faults mutate liveness, never edges. *)
-          let topology =
-            make_topology ~rng ~topology:scenario.topology ~n:scenario.n
-              ~d:scenario.d
-          in
-          let n_real = topology.Rumor_sim.Topology.capacity in
-          let n_estimate =
-            int_of_float (ceil (scenario.n_error *. float_of_int n_real))
-          in
-          let p =
-            make_protocol ~n_estimate ~protocol:scenario.protocol ~n:n_real
-              ~d:scenario.d ~alpha:scenario.alpha ~fanout:scenario.fanout ()
-          in
-          protocol_name := p.Rumor_sim.Protocol.name;
-          let source = Rng.int rng n_real in
-          match repair_config with
-          | Some config ->
-              Repair.self_heal ~fault ~config ~packed:scenario.packed ~rng
-                ~topology ~protocol:p ~sources:[ source ] ()
-          | None ->
-              Engine.run ~fault ~stop_when_complete:stop
-                ~packed:scenario.packed ~rng ~topology ~protocol:p
-                ~sources:[ source ] ()
-        end
-        else
-        let g =
-          make_graph ~rng ~topology:scenario.topology ~n:scenario.n
-            ~d:scenario.d
-        in
-        let n_real = Graph.n g in
-        let n_estimate =
-          int_of_float (ceil (scenario.n_error *. float_of_int n_real))
-        in
-        let p =
-          make_protocol ~n_estimate ~protocol:scenario.protocol ~n:n_real
-            ~d:scenario.d ~alpha:scenario.alpha ~fanout:scenario.fanout ()
-        in
-        protocol_name := p.Rumor_sim.Protocol.name;
-        let source = Run_.random_source rng g in
-        let churn_on = scenario.join_prob > 0. || scenario.leave_prob > 0. in
-        if churn_on then begin
-          (* Session churn mutates an overlay copy of the graph; ids
-             handed out for joins are reset to uninformed. Extra
-             capacity leaves room for joins beyond the initial size. *)
-          let o = Overlay.of_graph ~capacity:(2 * n_real) g in
-          let topology = Overlay.to_topology o in
-          let joined = ref [] in
-          let on_round_end _ =
-            let ev =
-              Churn.session o ~rng ~d:scenario.d ~join_prob:scenario.join_prob
-                ~leave_prob:scenario.leave_prob ()
-            in
-            match ev.Churn.joined with
-            | Some v -> joined := v :: !joined
-            | None -> ()
-          in
-          let reset () =
-            let l = !joined in
-            joined := [];
-            l
-          in
-          match repair_config with
-          | Some config ->
-              Repair.self_heal ~fault ~config ~reset ~on_round_end
-                ~packed:scenario.packed ~rng ~topology ~protocol:p
-                ~sources:[ source ] ()
-          | None ->
-              Engine.run ~fault ~forget_on_recover:true ~reset ~on_round_end
-                ~stop_when_complete:stop ~packed:scenario.packed ~rng
-                ~topology ~protocol:p ~sources:[ source ] ()
-        end
-        else
-          match repair_config with
-          | Some config ->
-              Repair.heal ~fault ~config ~packed:scenario.packed ~rng ~graph:g
-                ~protocol:p ~source ()
-          | None ->
-              Run_.once ~fault ~stop_when_complete:stop ~packed:scenario.packed
-                ~rng ~graph:g ~protocol:p ~source ())
-  in
+let report_of_results scenario results =
   let of_metric f = Summary.of_list (List.map f results) in
   {
     scenario;
-    protocol_name = !protocol_name;
+    protocol_name = protocol_name scenario;
     success_rate =
       float_of_int (List.length (List.filter Engine.success results))
-      /. float_of_int (List.length results);
+      /. float_of_int (max 1 (List.length results));
     coverage = of_metric Engine.coverage;
     tx_per_node =
       of_metric (fun r ->
-          float_of_int (Engine.transmissions r) /. float_of_int r.Engine.population);
+          float_of_int (Engine.transmissions r)
+          /. float_of_int r.Engine.population);
     rounds = of_metric (fun r -> float_of_int r.Engine.rounds);
     epochs = of_metric (fun r -> float_of_int (Engine.epochs_used r));
     repair_tx_per_node =
@@ -543,6 +612,19 @@ let run scenario =
             float_of_int (Engine.repair_tx r)
             /. float_of_int r.Engine.population);
   }
+
+let run scenario =
+  let domains =
+    if scenario.domains >= 1 then scenario.domains
+    else Experiment.default_domains ()
+  in
+  (* Bit-identical to sequential replication: streams are pre-forked
+     per repetition. *)
+  let results =
+    Experiment.replicate_parallel ~domains ~seed:scenario.seed
+      ~reps:scenario.reps (run_rep scenario)
+  in
+  report_of_results scenario results
 
 let pp_report ppf r =
   let s = r.scenario in
@@ -569,6 +651,9 @@ let pp_report ppf r =
   if s.join_prob > 0. || s.leave_prob > 0. then
     Buffer.add_string faults
       (Printf.sprintf ", churn join %.2f/leave %.2f" s.join_prob s.leave_prob);
+  if s.churn_rate >= 0. then
+    Buffer.add_string faults
+      (Printf.sprintf ", churn rate %.3f n/round" s.churn_rate);
   let repair = Buffer.create 64 in
   if s.max_epochs > 0 then
     Buffer.add_string repair

@@ -10,13 +10,17 @@
     d        = 8
     topology = regular        # regular|hypercube|torus|complete|gnp|product-k5
                               # |implicit-regular|implicit-hypercube|implicit-chords
-    protocol = bef            # bef|bef-seq|push|pull|push-pull|quasirandom
+    protocol = bef            # bef|bef-seq|push|pull|push-pull|push-pull-age
+                              # |quasirandom
     alpha    = 1.0
     fanout   = 4
     loss     = 0.05
     reps     = 5
     domains  = 0          # parallel replication; 0 = auto
     v}
+
+    Lines may end in CRLF and carry trailing whitespace — files written
+    on any platform parse identically.
 
     Fault-injection keys build a full {!Rumor_sim.Fault.t} plan:
     [burst_loss] / [burst_len] (Gilbert–Elliott bursty loss),
@@ -35,7 +39,12 @@
     mutable overlay with one {!Rumor_p2p.Churn.session} tick per round;
     joins re-enter uninformed. Either key nonzero enables the churn
     harness (and, with repair on, combines it with self-healing
-    epochs).
+    epochs). The alternative [churn_rate] key (mutually exclusive with
+    [join_prob]/[leave_prob]) instead runs [churn_rate * n] symmetric
+    sessions (join and leave both at probability 0.5) per round — the
+    churn model of the self-healing frontier (bench E8). [churn_rate =
+    0] still engages the overlay harness with zero sessions, which is
+    what makes the E8 no-churn column reproducible.
 
     Self-healing keys enable {!Rumor_core.Repair} epochs after the main
     schedule: [max_epochs] (0, the default, disables repair),
@@ -43,6 +52,12 @@
     and [repair_backoff] (randomized-backoff window cap). With repair
     on, runs use recovery amnesia (crash-recovered nodes restart
     uninformed) and the report gains epoch/overhead summaries.
+
+    [source] picks the broadcast source: [random] (the default) draws
+    it from the replication stream, [first] pins node 0 without
+    consuming randomness. [stop] overrides the stop-at-full-coverage
+    rule ([auto]: open-ended baselines stop at coverage, bef/bef-seq
+    and push-pull-age run their own schedules out).
 
     The [implicit-*] topologies ({!Rumor_sim.Topology.implicit_regular}
     and friends) compute neighbours on the fly from a per-repetition
@@ -60,7 +75,8 @@
     number {e and} its raw text. The CLI's
     [run] subcommand executes scenario files; the module is also the
     shared home of the topology/protocol factories used across the
-    binaries. *)
+    binaries. Sweep grids over these files are the matrix layer
+    ({!module:Matrix}). *)
 
 type t = {
   seed : int;
@@ -85,11 +101,22 @@ type t = {
   partition_fraction : float;  (** minority-side probability per node *)
   join_prob : float;  (** per-round join probability (churn harness) *)
   leave_prob : float;  (** per-round leave probability (churn harness) *)
+  churn_rate : float;
+      (** rate-based churn: [churn_rate * n] symmetric sessions per
+          round; negative (the default) = unset. [0] still engages the
+          overlay harness. Mutually exclusive with
+          [join_prob]/[leave_prob]. *)
   n_error : float;  (** n_estimate = n_error * n *)
   repair_timeout : int;
       (** silent rounds before an uninformed node starts pulling *)
   repair_backoff : int;  (** backoff window cap for repair pulls, rounds *)
   max_epochs : int;  (** repair epoch budget; 0 disables self-healing *)
+  stop : string;
+      (** stop-at-full-coverage: [auto] (default), [true] or [false].
+          See {!effective_stop}. *)
+  source : string;
+      (** broadcast source: [random] (drawn from the replication
+          stream) or [first] (node 0, no draw). *)
   reps : int;
   domains : int;
       (** OCaml domains for parallel replication; 0 (the default) means
@@ -107,8 +134,32 @@ val default : t
 (** [seed 1, n 16384, d 8, regular, bef, alpha 1.0, fanout 4, no
     faults, exact size estimate, 5 reps, auto domains]. *)
 
+val topologies : string list
+(** Accepted [topology] values. *)
+
+val protocols : string list
+(** Accepted [protocol] values. *)
+
+val adversaries : string list
+(** Accepted [crash_adversary] values. *)
+
+val set_key : t -> key:string -> value:string -> (t, string) result
+(** Apply one [key = value] assignment (both already trimmed). This is
+    the full scalar surface of the scenario language — range checks
+    included, cross-key checks deferred to {!validate}. Errors carry no
+    line information; {!parse} adds it, and the matrix layer reuses
+    [set_key] to build sweep cells. *)
+
+val validate : t -> (t, string) result
+(** Cross-key checks run after the whole file is read: burst
+    realisability, partition window ordering, churn vs implicit
+    topologies, churn-model exclusivity, matching parity, and the
+    materialised-size cap. *)
+
 val parse : string -> (t, string) result
-(** Parse scenario text over {!default}. Duplicate keys are an error. *)
+(** Parse scenario text over {!default}: {!set_key} per line with
+    duplicate detection, then {!validate}. CRLF line endings and
+    trailing whitespace are accepted. *)
 
 val parse_file : string -> (t, string) result
 (** Read and {!parse} a file; IO failures map to [Error]. *)
@@ -150,8 +201,27 @@ val make_protocol :
     protocol's schedule; [n] remains the true size used for horizons.
     @raise Failure on an unknown protocol name. *)
 
+val effective_stop : t -> bool
+(** The stop-at-full-coverage flag a run will use: the [stop] key when
+    explicit, otherwise [true] exactly for the open-ended baselines
+    (everything but bef, bef-seq and push-pull-age, which carry their
+    own schedules). *)
+
 val fault_plan : t -> Rumor_sim.Fault.t
 (** Assemble the scenario's fault keys into an engine fault plan. *)
+
+val protocol_name : t -> string
+(** The wire/display name of the scenario's protocol (e.g.
+    ["bef-parallel-f4"]) — a pure function of the protocol, alpha and
+    fanout keys; no RNG is touched. *)
+
+val run_rep : t -> Rumor_rng.Rng.t -> Rumor_sim.Engine.result
+(** One repetition on one pre-forked stream — the unit the matrix
+    runner schedules onto its shared domain pool. The draw order
+    (graph/view sample, then source, then engine) is a compatibility
+    contract: the same stream always yields a bit-identical result
+    whether dispatched here, via {!run}, or by the historical bench
+    loops. *)
 
 type report = {
   scenario : t;
@@ -165,6 +235,10 @@ type report = {
   repair_tx_per_node : Rumor_stats.Summary.t;
       (** transmissions spent inside repair epochs, per live node *)
 }
+
+val report_of_results : t -> Rumor_sim.Engine.result list -> report
+(** Summarise a list of per-repetition results (as produced by
+    {!run_rep}) into a report. *)
 
 val run : t -> report
 (** Execute the scenario: [reps] broadcasts on fresh graphs with forked

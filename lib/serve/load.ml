@@ -347,3 +347,36 @@ let report_json cfg r =
         Option.value ~default:Json.Null r.server_stats );
       ("server_ok", Json.Bool r.server_ok);
     ]
+
+(* --- in-process service cells ---
+
+   The matrix runner drives service cells without an external process:
+   a socketpair joins this driver to a Server.run select loop on a
+   background thread. The server runs with [~signals:false] so the
+   host's SIGTERM/SIGINT handling (Experiment.with_interrupt_signals)
+   stays in charge; closing our end of the pair is the drain request,
+   exactly like EOF on stdin, after which the thread joins. *)
+let run_in_process ?(service_config = Service.config ()) cfg =
+  let client_fd, server_fd =
+    Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0
+  in
+  let exit_code = ref 1 in
+  let server =
+    Thread.create
+      (fun () ->
+        exit_code :=
+          Server.run ~config:service_config ~quiet:true ~signals:false
+            (Server.Fd server_fd))
+      ()
+  in
+  let finish () =
+    (try Unix.close client_fd with Unix.Unix_error _ -> ());
+    Thread.join server
+  in
+  match run cfg ~fd:client_fd with
+  | report ->
+      finish ();
+      (report, !exit_code = 0)
+  | exception e ->
+      finish ();
+      raise e

@@ -68,3 +68,13 @@ val run : cfg -> fd:Unix.file_descr -> report
 
 val report_json : cfg -> report -> Rumor_obs.Json.t
 (** The [rumor-bench/1] experiment payload ([rumor load --json]). *)
+
+val run_in_process :
+  ?service_config:Service.config -> cfg -> report * bool
+(** Run one load cell against an embedded server: a socketpair joins
+    this driver to a {!Server.run} select loop on a background thread
+    ([~signals:false] — the host process keeps its own SIGTERM/SIGINT
+    handling). Closing the driver's end after the load window is the
+    drain request; the returned boolean is whether the server side
+    drained cleanly (its would-be exit code was 0). This is how
+    [rumor matrix] executes service-mode cells. *)

@@ -17,7 +17,7 @@ module Json = Rumor_obs.Json
    everything wound down cleanly (every domain joined, no invariant
    violation), 1 otherwise. A hard-kill timeout bounds the drain. *)
 
-type transport = Stdio | Unix_socket of string
+type transport = Stdio | Unix_socket of string | Fd of Unix.file_descr
 
 type conn = {
   cid : int;
@@ -133,7 +133,7 @@ let read_conn st conn ~stdio =
       if stdio then Atomic.set st.shutdown_req true
 
 let run ?(config = Service.config ()) ?(drain_timeout_s = 30.)
-    ?(quiet = false) transport =
+    ?(quiet = false) ?(signals = true) transport =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   (* The service's terminal callback needs the server state, which
      needs the service: tie the knot through a ref, written before any
@@ -156,13 +156,25 @@ let run ?(config = Service.config ()) ?(drain_timeout_s = 30.)
     }
   in
   st_ref := Some st;
+  (* [signals = false] runs the server as a guest inside another
+     process (an in-process matrix/load cell): the host owns
+     SIGTERM/SIGINT — clobbering its handlers would break its own
+     graceful interruption. EOF on the primary connection still drains. *)
   let request_shutdown _ = Atomic.set st.shutdown_req true in
-  let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle request_shutdown) in
-  let old_int = Sys.signal Sys.sigint (Sys.Signal_handle request_shutdown) in
+  let old_handlers =
+    if signals then
+      Some
+        ( Sys.signal Sys.sigterm (Sys.Signal_handle request_shutdown),
+          Sys.signal Sys.sigint (Sys.Signal_handle request_shutdown) )
+    else None
+  in
   let listener =
     match transport with
     | Stdio ->
         ignore (add_conn st ~fd_in:Unix.stdin ~fd_out:Unix.stdout);
+        None
+    | Fd fd ->
+        ignore (add_conn st ~fd_in:fd ~fd_out:fd);
         None
     | Unix_socket path ->
         if Sys.file_exists path then Unix.unlink path;
@@ -171,12 +183,14 @@ let run ?(config = Service.config ()) ?(drain_timeout_s = 30.)
         Unix.listen fd 16;
         Some (fd, path)
   in
-  let stdio = transport = Stdio in
+  (* The primary connection: EOF on it is the client's drain request. *)
+  let stdio = match transport with Stdio | Fd _ -> true | Unix_socket _ -> false in
   if not quiet then
     prerr_endline
       (Printf.sprintf "rumor-serve: listening (%s), %d workers, queue %d"
          (match transport with
          | Stdio -> "stdio"
+         | Fd _ -> "fd"
          | Unix_socket p -> "socket " ^ p)
          config.Service.workers config.Service.queue_capacity);
   let draining = ref false in
@@ -238,6 +252,9 @@ let run ?(config = Service.config ()) ?(drain_timeout_s = 30.)
       (try Unix.close fd with _ -> ());
       if Sys.file_exists path then ( try Unix.unlink path with _ -> ())
   | None -> ());
-  Sys.set_signal Sys.sigterm old_term;
-  Sys.set_signal Sys.sigint old_int;
+  (match old_handlers with
+  | Some (old_term, old_int) ->
+      Sys.set_signal Sys.sigterm old_term;
+      Sys.set_signal Sys.sigint old_int
+  | None -> ());
   if clean then 0 else 1

@@ -1,4 +1,5 @@
-(** The [rumor serve] frontend: NDJSON over stdio or a Unix socket.
+(** The [rumor serve] frontend: NDJSON over stdio, a Unix socket, or a
+    caller-supplied descriptor.
 
     Single-threaded I/O on top of one {!Service}: worker domains never
     touch a descriptor — terminal notifications are queued and flushed
@@ -7,23 +8,34 @@
     supervisor's watchdog).
 
     Drain semantics: SIGTERM, SIGINT, a wire [shutdown] op, or EOF on
-    stdin close admission (further submits are rejected with
-    ["draining"]); in-flight sessions finish and deliver their events;
-    then the service winds down. [drain_timeout_s] is the hard-kill
-    bound — past it, stragglers are cancelled and force-failed so the
+    the primary connection (stdin, or the [Fd] descriptor) close
+    admission (further submits are rejected with ["draining"]);
+    in-flight sessions finish and deliver their events; then the
+    service winds down. [drain_timeout_s] is the hard-kill bound —
+    past it, stragglers are cancelled and force-failed so the
     no-session-lost invariant still holds. *)
 
-type transport = Stdio | Unix_socket of string
+type transport =
+  | Stdio
+  | Unix_socket of string
+  | Fd of Unix.file_descr
+      (** serve one pre-connected descriptor (e.g. a socketpair end) —
+          how a host process embeds the service in-process; EOF on it
+          drains, like stdin *)
 
 val run :
   ?config:Service.config ->
   ?drain_timeout_s:float ->
   ?quiet:bool ->
+  ?signals:bool ->
   transport ->
   int
 (** Serve until drained. Returns the process exit code: [0] iff the
     drain was clean — in-flight work settled inside the timeout, every
     worker domain was joined, and the monitor recorded no invariant
     violation. Installs SIGTERM/SIGINT/SIGPIPE handlers for the
-    duration and restores them on exit; a pre-existing socket path is
-    replaced and unlinked on shutdown. *)
+    duration and restores them on exit; pass [~signals:false] when
+    embedding the server in a process that owns its own handlers (the
+    in-process load driver) — the host's SIGTERM/SIGINT behaviour is
+    then left untouched and shutdown comes from EOF or a wire op. A
+    pre-existing socket path is replaced and unlinked on shutdown. *)

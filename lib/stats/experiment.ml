@@ -74,6 +74,80 @@ let replicate_parallel ?domains ~seed ~reps f =
     Array.to_list out |> List.filter_map Fun.id
   end
 
+(* --- shared-pool task execution ---
+
+   The matrix runner executes a whole grid of cells under ONE domain
+   pool: flattening every (task, rep) pair into a single work list
+   keeps all domains busy across cell boundaries, instead of paying a
+   spawn/join barrier (and idle tail) per cell. Streams are pre-forked
+   per (task, rep) exactly as [replicate_parallel] forks them per rep,
+   so each task's results are bit-identical to running that task alone
+   through [replicate ~seed:task.seed ~reps:task.reps]. *)
+
+type task = { seed : int; reps : int }
+
+let run_tasks ?domains tasks f =
+  let total = Array.fold_left (fun acc t -> acc + t.reps) 0 tasks in
+  Array.iteri
+    (fun i t ->
+      if t.reps < 1 then
+        invalid_arg
+          (Printf.sprintf "Experiment.run_tasks: task %d has reps < 1" i))
+    tasks;
+  let domains =
+    match domains with
+    | Some d when d >= 1 -> min d (max 1 total)
+    | Some _ -> invalid_arg "Experiment.run_tasks: domains < 1"
+    | None -> min (default_domains ()) (max 1 total)
+  in
+  let streams =
+    Array.map
+      (fun t ->
+        let base = Rng.create t.seed in
+        Array.init t.reps (fun r -> Rng.fork base r))
+      tasks
+  in
+  let out = Array.map (fun t -> Array.make t.reps None) tasks in
+  (* Work items in (task-major, rep-minor) order: under interruption
+     the completed set is a prefix-biased subset, so early cells finish
+     first and partial documents stay coherent. *)
+  let work = Array.make total (0, 0) in
+  let pos = ref 0 in
+  Array.iteri
+    (fun t task ->
+      for r = 0 to task.reps - 1 do
+        work.(!pos) <- (t, r);
+        incr pos
+      done)
+    tasks;
+  if domains = 1 then begin
+    (try
+       for w = 0 to total - 1 do
+         if interrupted () then raise Exit;
+         let t, r = work.(w) in
+         out.(t).(r) <- Some (f ~task:t ~rep:r streams.(t).(r))
+       done
+     with Exit -> ());
+    out
+  end
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let w = Atomic.fetch_and_add next 1 in
+        if w >= total || interrupted () then continue := false
+        else begin
+          let t, r = work.(w) in
+          out.(t).(r) <- Some (f ~task:t ~rep:r streams.(t).(r))
+        end
+      done
+    in
+    let spawned = List.init domains (fun _ -> Domain.spawn worker) in
+    List.iter Domain.join spawned;
+    out
+  end
+
 let summarize ~seed ~reps f = Summary.of_list (replicate ~seed ~reps f)
 
 let mean_of ~seed ~reps f = (summarize ~seed ~reps f).Summary.mean

@@ -57,6 +57,30 @@ val replicate_parallel :
     the call returns — no orphans.
     @raise Invalid_argument if [reps < 1] or [domains < 1]. *)
 
+type task = { seed : int; reps : int }
+(** One unit of {!run_tasks} work: a replication with its own base
+    seed. *)
+
+val run_tasks :
+  ?domains:int ->
+  task array ->
+  (task:int -> rep:int -> Rumor_rng.Rng.t -> 'a) ->
+  'a option array array
+(** [run_tasks tasks f] executes every (task, repetition) pair of the
+    grid on one shared pool of up to [domains] (default
+    {!default_domains}) OCaml domains — no per-task spawn/join barrier,
+    so a grid of many small cells keeps all domains busy. Repetition
+    [r] of task [t] runs on stream [fork tasks.(t).seed r], pre-forked
+    before any domain starts; each task's results are therefore
+    bit-identical to running that task alone through {!replicate} or
+    {!replicate_parallel} with the same seed. Returns one array per
+    task, [Some] for completed repetitions; under interruption (see
+    above) unstarted slots stay [None] and every domain is joined
+    before the call returns. Work is dispatched in task-major order,
+    so interruption leaves early tasks complete rather than all tasks
+    half-done. [f] must not share mutable state across calls.
+    @raise Invalid_argument if any [reps < 1] or [domains < 1]. *)
+
 val summarize :
   seed:int -> reps:int -> (Rumor_rng.Rng.t -> float) -> Summary.t
 (** Replicate a scalar measurement and summarise it. *)
